@@ -1,0 +1,23 @@
+"""E7 — lower-bound machinery validation.
+
+For a collection of small CDAGs, checks the soundness sandwich
+
+    wavefront LB  <=  exact optimal I/O  <=  heuristic spill-game UB
+
+where the exact optimum comes from exhaustive uniform-cost search over the
+RBW game's state space.  This is the ablation bench for the automated
+wavefront heuristic called out in DESIGN.md.
+"""
+
+from repro.evaluation import experiment_bound_validation, render_report
+
+from conftest import emit
+
+
+def test_bound_sandwich_on_small_cdags(benchmark):
+    rows = benchmark(experiment_bound_validation)
+    emit(render_report(
+        "Bound-machinery validation — LB <= OPT <= UB on small CDAGs",
+        rows,
+    ))
+    assert all(r["sound"] for r in rows)

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table/analysis of the paper (see DESIGN.md,
+per-experiment index) and *prints* the reproduced rows so that
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` leaves a
+readable record of the reproduced numbers next to the timings.  The
+``emit`` helper temporarily suspends pytest's output capture so the tables
+are always visible regardless of the capture mode.
+"""
+
+import pytest
+
+_CONFIG = None
+
+
+def pytest_configure(config):
+    global _CONFIG
+    _CONFIG = config
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table, bypassing pytest's output capture."""
+    capman = (
+        _CONFIG.pluginmanager.getplugin("capturemanager") if _CONFIG else None
+    )
+    if capman is not None:
+        with capman.global_and_fixture_disabled():
+            print("\n" + text, flush=True)
+    else:  # pragma: no cover - plain-python fallback
+        print("\n" + text, flush=True)
+
+
+@pytest.fixture
+def report_emitter():
+    return emit

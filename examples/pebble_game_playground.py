@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Pebble-game playground: sequential and parallel games move by move.
+
+Demonstrates the three game engines on small CDAGs:
+
+1. the Hong-Kung red-blue game, including the recomputation trick that
+   makes the Section 3 composite example cheap;
+2. the Red-Blue-White game, showing how the no-recomputation rule forces a
+   spill to be visible as I/O;
+3. the parallel RBW game on a two-node cluster, with the vertical and
+   horizontal traffic counters that Theorems 5-7 bound.
+
+Run with::
+
+    python examples/pebble_game_playground.py
+"""
+
+from repro.algorithms import recompute_friendly_game
+from repro.core import chain_cdag, reduction_tree_cdag
+from repro.pebbling import (
+    GameError,
+    MemoryHierarchy,
+    ParallelRBWPebbleGame,
+    RBWPebbleGame,
+    contiguous_block_assignment,
+    parallel_spill_game,
+)
+
+
+def red_blue_composite_demo() -> None:
+    print("=== Red-blue game: the Section 3 composite example ===")
+    for n in (4, 8, 16):
+        record = recompute_friendly_game(n)
+        print(f"  N={n:3d}: {record.io_count:4d} I/O "
+              f"({record.load_count} loads + {record.store_count} store), "
+              f"{record.compute_count} compute steps "
+              f"(recomputation exploited, cost 4N+1)")
+
+
+def rbw_spill_demo() -> None:
+    print("\n=== RBW game: spills are visible I/O ===")
+    cdag = reduction_tree_cdag(4)
+    game = RBWPebbleGame(cdag, num_red=3)
+    game.load(("reduce", 0, 0))
+    game.load(("reduce", 0, 1))
+    game.compute(("reduce", 1, 0))
+    game.delete(("reduce", 0, 0))
+    game.delete(("reduce", 0, 1))
+    # We must keep ("reduce", 1, 0) for the root, but with S=3 the other
+    # subtree needs all three pebbles -> spill it first.
+    game.store(("reduce", 1, 0))
+    game.delete(("reduce", 1, 0))
+    game.load(("reduce", 0, 2))
+    game.load(("reduce", 0, 3))
+    game.compute(("reduce", 1, 1))
+    game.delete(("reduce", 0, 2))
+    game.delete(("reduce", 0, 3))
+    game.load(("reduce", 1, 0))       # reload the spilled value
+    game.compute(("reduce", 2, 0))
+    game.store(("reduce", 2, 0))
+    game.assert_complete()
+    print(f"  4-leaf reduction with S=3: {game.record.io_count} I/O "
+          f"(the spill + reload of the left subtree root costs 2 extra)")
+
+    # the same attempt without the spill is illegal: recomputation is banned
+    game2 = RBWPebbleGame(cdag, num_red=3)
+    game2.load(("reduce", 0, 0))
+    game2.load(("reduce", 0, 1))
+    game2.compute(("reduce", 1, 0))
+    game2.delete(("reduce", 1, 0))    # dropped without storing...
+    try:
+        game2.compute(("reduce", 1, 0))
+    except GameError as exc:
+        print(f"  recomputation rejected as expected: {exc}")
+
+
+def parallel_demo() -> None:
+    print("\n=== Parallel RBW game: vertical vs horizontal traffic ===")
+    cdag = chain_cdag(6)
+    hierarchy = MemoryHierarchy.cluster(
+        nodes=2, cores_per_node=1, registers_per_core=4, cache_size=8
+    )
+    # force the two halves of the chain onto different nodes so a remote
+    # get is required in the middle
+    assignment = {v: (0 if v[1] <= 3 else 1) for v in cdag.vertices}
+    record = parallel_spill_game(cdag, hierarchy, assignment=assignment)
+    print(f"  chain of 6 split across 2 nodes:")
+    print(f"    horizontal (remote gets + loads) per node: "
+          f"{dict(record.horizontal_io)}")
+    print(f"    vertical words per storage instance      : "
+          f"{dict(record.vertical_io)}")
+    print(f"    computes per processor                   : "
+          f"{dict(record.compute_per_processor)}")
+
+    # a bigger structured CDAG with the default owner-computes assignment
+    tree = reduction_tree_cdag(16)
+    hierarchy = MemoryHierarchy.cluster(
+        nodes=4, cores_per_node=1, registers_per_core=6, cache_size=12
+    )
+    record = parallel_spill_game(tree, hierarchy)
+    print(f"  16-leaf reduction on 4 nodes: "
+          f"max vertical/node = {record.max_vertical_io_at_level(3)}, "
+          f"max horizontal/node = {record.max_horizontal_io()}, "
+          f"total I/O = {record.io_count}")
+
+
+if __name__ == "__main__":
+    red_blue_composite_demo()
+    rbw_spill_demo()
+    parallel_demo()

@@ -1,0 +1,6 @@
+"""Setup shim for environments whose pip/setuptools cannot perform PEP 660
+editable installs (no `wheel` package available offline).  All metadata
+lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""FFT (butterfly) CDAGs and bounds — related-work cross-check.
+
+The FFT is not one of the paper's evaluation workloads, but it is the
+classic second example of the Hong-Kung framework (``Q = Θ(n log n /
+log S)``) and is referenced repeatedly in the related-work section
+(Savage; Ranjan, Savage & Zubair).  Including it gives the test-suite a
+CDAG family with a qualitatively different I/O profile (poly-log reuse
+rather than the polynomial reuse of matmul or the streaming behaviour of
+stencils), which is valuable for exercising the partition and wavefront
+machinery.
+
+This module also provides an actual radix-2 decimation-in-time FFT whose
+traced execution produces the same butterfly CDAG, so the structural
+builder is validated against real code.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from ..bounds.analytical import fft_io_lower_bound
+from ..core.builders import butterfly_cdag
+from ..core.cdag import CDAG
+
+__all__ = ["butterfly_cdag", "fft_io_lower_bound", "radix2_fft", "fft_flops"]
+
+
+def radix2_fft(x: np.ndarray) -> np.ndarray:
+    """Iterative radix-2 decimation-in-time FFT (power-of-two length).
+
+    A from-scratch implementation (no ``numpy.fft``) used by the tests to
+    check the butterfly CDAG's stage structure against real code and by
+    the examples as a self-contained workload.
+    """
+    x = np.asarray(x, dtype=complex).copy()
+    n = len(x)
+    if n == 0 or (n & (n - 1)) != 0:
+        raise ValueError("radix-2 FFT needs a power-of-two length")
+    # Bit-reversal permutation.
+    j = 0
+    for i in range(1, n):
+        bit = n >> 1
+        while j & bit:
+            j ^= bit
+            bit >>= 1
+        j |= bit
+        if i < j:
+            x[i], x[j] = x[j], x[i]
+    # Butterfly stages.
+    length = 2
+    while length <= n:
+        ang = -2.0 * math.pi / length
+        wlen = complex(math.cos(ang), math.sin(ang))
+        for start in range(0, n, length):
+            w = 1.0 + 0.0j
+            half = length // 2
+            for k in range(half):
+                u = x[start + k]
+                v = x[start + k + half] * w
+                x[start + k] = u + v
+                x[start + k + half] = u - v
+                w *= wlen
+        length <<= 1
+    return x
+
+
+def fft_flops(n: int) -> float:
+    """Approximate FLOPs of a radix-2 FFT: ``5 n log2 n`` (real ops)."""
+    if n < 2 or (n & (n - 1)) != 0:
+        raise ValueError("n must be a power of two >= 2")
+    return 5.0 * n * math.log2(n)

@@ -1,0 +1,154 @@
+"""Dense linear-algebra CDAGs and bounds (matmul, outer product).
+
+Matrix multiplication is the canonical example of the 2S-partitioning
+technique (its ``N^3 / (2 sqrt(2S))`` bound is quoted in Section 3) and
+also the canonical example of why naive input/output *deletion* fails:
+removing the input and output vertices of the matmul CDAG leaves only the
+``N^2`` independent accumulation chains, each pebblable with two red
+pebbles.  Theorem 3 (retagging) is the repair.  This module provides:
+
+* :func:`matmul_cdag` — the classical-algorithm CDAG with explicit
+  multiply and accumulate vertices;
+* :func:`matmul_io_lower_bound` re-exported from
+  :mod:`repro.bounds.analytical` for convenience;
+* :func:`matmul_accumulation_chains` — the CDAG left after deleting the
+  input/output vertices, used by tests to demonstrate the degenerate
+  behaviour the paper describes;
+* :func:`traced_matmul` — a traced execution producing both the numeric
+  product (validated against NumPy) and the CDAG;
+* outer-product builders mirroring Section 3's first two steps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..bounds.analytical import matmul_io_lower_bound, outer_product_io
+from ..core.cdag import CDAG, Vertex
+from ..core.builders import independent_chains_cdag, outer_product_cdag
+from ..core.trace import TraceContext, TracedArray
+
+__all__ = [
+    "matmul_cdag",
+    "matmul_accumulation_chains",
+    "traced_matmul",
+    "traced_outer_product",
+    "matmul_io_lower_bound",
+    "outer_product_io",
+    "outer_product_cdag",
+]
+
+
+def matmul_cdag(n: int, name: str = "matmul") -> CDAG:
+    """CDAG of the classical ``N x N`` matrix multiplication ``C = A B``.
+
+    Vertices:
+
+    * inputs ``("A", i, k)`` and ``("B", k, j)``;
+    * multiplies ``("mul", i, j, k)`` reading ``A[i,k]`` and ``B[k,j]``;
+    * accumulations ``("acc", i, j, k)`` for ``k >= 1`` reading the
+      previous partial sum and the ``k``-th product; the last accumulation
+      of each ``(i, j)`` is an output (``C[i,j]``).
+
+    For ``n = 1`` the single multiply is the output.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    vertices: List[Vertex] = []
+    edges: List[Tuple[Vertex, Vertex]] = []
+    inputs: List[Vertex] = []
+    outputs: List[Vertex] = []
+    for i in range(n):
+        for k in range(n):
+            vertices.append(("A", i, k))
+            inputs.append(("A", i, k))
+    for k in range(n):
+        for j in range(n):
+            vertices.append(("B", k, j))
+            inputs.append(("B", k, j))
+    for i in range(n):
+        for j in range(n):
+            prev: Optional[Vertex] = None
+            for k in range(n):
+                mul: Vertex = ("mul", i, j, k)
+                vertices.append(mul)
+                edges.append((("A", i, k), mul))
+                edges.append((("B", k, j), mul))
+                if prev is None:
+                    prev = mul
+                else:
+                    acc: Vertex = ("acc", i, j, k)
+                    vertices.append(acc)
+                    edges.append((prev, acc))
+                    edges.append((mul, acc))
+                    prev = acc
+            outputs.append(prev)  # type: ignore[arg-type]
+    return CDAG(vertices, edges, inputs, outputs, name=name)
+
+
+def matmul_accumulation_chains(n: int) -> CDAG:
+    """The matmul CDAG with its input and output vertices deleted.
+
+    What remains is ``N^2`` independent accumulation chains (each of
+    length ``~2N``): every chain can be evaluated with 2 red pebbles and
+    no I/O at all, which is why Corollary 2 alone gives only the trivial
+    ``|dI| + |dO| = 2N^2 + N^2`` bound and the stronger matmul bound needs
+    Theorem 3 retagging.  Returned as a freshly-built chains CDAG with the
+    same shape for clarity (the tests also derive it directly from
+    :func:`matmul_cdag` via ``without_io_vertices`` and check the two are
+    isomorphic in the relevant statistics).
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2 for non-trivial chains")
+    # Each (i, j) chain: n multiplies and n-1 accumulates; after removing
+    # the inputs, the multiplies become sources feeding the accumulate
+    # chain.  Equivalent stats: n^2 chains of length ~2n-1.
+    return independent_chains_cdag(n * n, 2 * n - 2, name=f"matmul{n}-chains")
+
+
+def traced_matmul(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, CDAG]:
+    """Execute ``C = A @ B`` scalar-by-scalar under the tracer.
+
+    Returns the numeric product (checked by the caller / tests against
+    ``numpy.matmul``) and the recorded CDAG.  Intended for small matrices;
+    the CDAG has ``2 n m + n m (2k - 1)`` vertices for an
+    ``(n x k) @ (k x m)`` product.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError("incompatible matrix shapes")
+    ctx = TraceContext("traced-matmul")
+    ta = ctx.input_array(a, prefix="A")
+    tb = ctx.input_array(b, prefix="B")
+    n, k = a.shape
+    m = b.shape[1]
+    out = np.zeros((n, m))
+    for i in range(n):
+        for j in range(m):
+            acc = ta[i, 0] * tb[0, j]
+            for kk in range(1, k):
+                acc = acc + ta[i, kk] * tb[kk, j]
+            ctx.mark_output(acc)
+            out[i, j] = acc.value
+    return out, ctx.build()
+
+
+def traced_outer_product(p: np.ndarray, q: np.ndarray) -> Tuple[np.ndarray, CDAG]:
+    """Traced outer product ``A = p q^T`` (Section 3, first step)."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.ndim != 1 or q.ndim != 1:
+        raise ValueError("outer product expects two vectors")
+    ctx = TraceContext("traced-outer")
+    tp = ctx.input_array(p, prefix="p")
+    tq = ctx.input_array(q, prefix="q")
+    out = np.zeros((len(p), len(q)))
+    for i in range(len(p)):
+        for j in range(len(q)):
+            prod = tp[i] * tq[j]
+            ctx.mark_output(prod)
+            out[i, j] = prod.value
+    return out, ctx.build()

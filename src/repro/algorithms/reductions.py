@@ -1,0 +1,122 @@
+"""Reductions and vector kernels as CDAG families.
+
+The inner kernels of the Krylov solvers — dot products, SAXPY updates,
+norms — are the building blocks whose wavefronts drive Theorems 8 and 9.
+This module provides them as standalone CDAG constructors with exact I/O
+characterisations, used by the unit tests to validate the wavefront and
+partition machinery on cases where the answer is known in closed form:
+
+* a dot product of two length-n vectors: the reduction root has a
+  wavefront of at most ``2`` in isolation (the chain accumulator plus the
+  next product), but when its result feeds a later vector operation that
+  also reads the original vectors, the wavefront grows to ``Θ(n)`` —
+  exactly the structural situation exploited by Theorem 8; the
+  :func:`dot_then_axpy_cdag` builder reproduces it in miniature;
+* SAXPY: ``2n`` loads + ``n`` stores, no reuse;
+* vector norm: same shape as a dot product.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.cdag import CDAG, Vertex
+
+__all__ = [
+    "dot_product_cdag",
+    "saxpy_cdag",
+    "dot_then_axpy_cdag",
+]
+
+
+def dot_product_cdag(n: int, name: str = "dot") -> CDAG:
+    """CDAG of ``s = <x, y>``: n products feeding a linear reduction chain."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    vertices: List[Vertex] = []
+    edges: List[Tuple[Vertex, Vertex]] = []
+    inputs: List[Vertex] = []
+    for i in range(n):
+        vertices.append(("x", i))
+        vertices.append(("y", i))
+        inputs.extend([("x", i), ("y", i)])
+    prev: Vertex = None  # type: ignore[assignment]
+    for i in range(n):
+        m: Vertex = ("prod", i)
+        vertices.append(m)
+        edges.append((("x", i), m))
+        edges.append((("y", i), m))
+        if prev is None:
+            prev = m
+        else:
+            a: Vertex = ("acc", i)
+            vertices.append(a)
+            edges.append((prev, a))
+            edges.append((m, a))
+            prev = a
+    return CDAG(vertices, edges, inputs, [prev], name=name)
+
+
+def saxpy_cdag(n: int, name: str = "saxpy") -> CDAG:
+    """CDAG of ``y <- y + a * x`` (the scalar ``a`` is an input too)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    vertices: List[Vertex] = [("a",)]
+    edges: List[Tuple[Vertex, Vertex]] = []
+    inputs: List[Vertex] = [("a",)]
+    outputs: List[Vertex] = []
+    for i in range(n):
+        vertices.extend([("x", i), ("y", i)])
+        inputs.extend([("x", i), ("y", i)])
+        out: Vertex = ("out", i)
+        vertices.append(out)
+        edges.append((("a",), out))
+        edges.append((("x", i), out))
+        edges.append((("y", i), out))
+        outputs.append(out)
+    return CDAG(vertices, edges, inputs, outputs, name=name)
+
+
+def dot_then_axpy_cdag(n: int, name: str = "dot-axpy") -> CDAG:
+    """The CG-like pattern: ``a = <x, y>`` then ``z_i = x_i + a * y_i``.
+
+    Every element of ``x`` and ``y`` is a predecessor of the reduction
+    result ``a`` *and* is read again by the subsequent AXPY, so all ``2n``
+    of them have disjoint paths to the descendants of ``a``; the
+    minimum-cardinality wavefront at ``a`` is therefore ``2n + 1`` (the 2n
+    vector elements still live plus ``a`` itself) — the miniature version
+    of the Theorem 8 wavefront, verified exactly by the unit tests via
+    max-flow.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    vertices: List[Vertex] = []
+    edges: List[Tuple[Vertex, Vertex]] = []
+    inputs: List[Vertex] = []
+    outputs: List[Vertex] = []
+    for i in range(n):
+        vertices.extend([("x", i), ("y", i)])
+        inputs.extend([("x", i), ("y", i)])
+    prev: Vertex = None  # type: ignore[assignment]
+    for i in range(n):
+        m: Vertex = ("prod", i)
+        vertices.append(m)
+        edges.append((("x", i), m))
+        edges.append((("y", i), m))
+        if prev is None:
+            prev = m
+        else:
+            a: Vertex = ("acc", i)
+            vertices.append(a)
+            edges.append((prev, a))
+            edges.append((m, a))
+            prev = a
+    a_scalar = prev
+    for i in range(n):
+        z: Vertex = ("z", i)
+        vertices.append(z)
+        edges.append((a_scalar, z))
+        edges.append((("x", i), z))
+        edges.append((("y", i), z))
+        outputs.append(z)
+    return CDAG(vertices, edges, inputs, outputs, name=name)

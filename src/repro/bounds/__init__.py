@@ -1,0 +1,121 @@
+"""Lower-bound machinery for the data movement complexity of CDAGs.
+
+* :mod:`repro.bounds.hong_kung` — 2S-partitioning bounds (Theorem 1,
+  Lemma 1, Corollary 1);
+* :mod:`repro.bounds.mincut` — convex-cut / wavefront bounds (Lemma 2)
+  with an automated candidate heuristic;
+* :mod:`repro.bounds.composition` — decomposition, input/output deletion
+  and (un)tagging rules (Theorems 2-4, Corollary 2);
+* :mod:`repro.bounds.parallel` — vertical and horizontal bounds for the
+  P-RBW model (Theorems 5-7);
+* :mod:`repro.bounds.analytical` — the closed forms for matmul, the
+  composite example, CG, GMRES, Jacobi and FFT used by the evaluation.
+"""
+
+from .analytical import (
+    block_side,
+    cg_vertical_lower_bound,
+    cg_wavefront_sizes,
+    composite_example_io_upper_bound,
+    composite_example_naive_sum,
+    fft_io_lower_bound,
+    ghost_cell_volume,
+    gmres_vertical_lower_bound,
+    gmres_wavefront_sizes,
+    jacobi_io_lower_bound,
+    jacobi_largest_partition,
+    matmul_io_lower_bound,
+    outer_product_io,
+    stencil_horizontal_upper_bound,
+)
+from .composition import (
+    DecompositionBound,
+    decompose_disjoint,
+    io_deletion_bound,
+    nondisjoint_iteration_bound,
+    sum_of_bounds,
+    tagging_bound,
+    untagging_bound,
+)
+from .hong_kung import (
+    HongKungBound,
+    exhaustive_min_partition_count,
+    lower_bound_from_largest_subset,
+    lower_bound_from_partition_count,
+    verify_theorem1_relation,
+)
+from .lines import (
+    LinesAnalysis,
+    find_lines,
+    jacobi_lines_bound,
+    lines_lower_bound,
+    stencil_f_inverse,
+)
+from .mincut import (
+    MinCutBound,
+    automated_wavefront_bound,
+    best_wavefront_lower_bound,
+    heuristic_wavefront_candidates,
+    wavefront_lower_bound,
+)
+from .parallel import (
+    ParallelBound,
+    horizontal_bound_from_U,
+    horizontal_bound_theorem7,
+    vertical_bound_from_U,
+    vertical_bound_from_sequential,
+    vertical_bound_theorem5,
+    vertical_bound_theorem6,
+)
+
+__all__ = [
+    # analytical
+    "block_side",
+    "cg_vertical_lower_bound",
+    "cg_wavefront_sizes",
+    "composite_example_io_upper_bound",
+    "composite_example_naive_sum",
+    "fft_io_lower_bound",
+    "ghost_cell_volume",
+    "gmres_vertical_lower_bound",
+    "gmres_wavefront_sizes",
+    "jacobi_io_lower_bound",
+    "jacobi_largest_partition",
+    "matmul_io_lower_bound",
+    "outer_product_io",
+    "stencil_horizontal_upper_bound",
+    # composition
+    "DecompositionBound",
+    "decompose_disjoint",
+    "io_deletion_bound",
+    "nondisjoint_iteration_bound",
+    "sum_of_bounds",
+    "tagging_bound",
+    "untagging_bound",
+    # hong-kung
+    "HongKungBound",
+    "exhaustive_min_partition_count",
+    "lower_bound_from_largest_subset",
+    "lower_bound_from_partition_count",
+    "verify_theorem1_relation",
+    # lines
+    "LinesAnalysis",
+    "find_lines",
+    "jacobi_lines_bound",
+    "lines_lower_bound",
+    "stencil_f_inverse",
+    # min-cut
+    "MinCutBound",
+    "automated_wavefront_bound",
+    "best_wavefront_lower_bound",
+    "heuristic_wavefront_candidates",
+    "wavefront_lower_bound",
+    # parallel
+    "ParallelBound",
+    "horizontal_bound_from_U",
+    "horizontal_bound_theorem7",
+    "vertical_bound_from_U",
+    "vertical_bound_from_sequential",
+    "vertical_bound_theorem5",
+    "vertical_bound_theorem6",
+]

@@ -1,0 +1,187 @@
+"""Hong-Kung 2S-partitioning lower bounds (Theorem 1, Lemma 1, Corollary 1).
+
+The chain of reasoning reproduced here:
+
+* **Theorem 1** — any complete game with ``S`` red pebbles induces a
+  ``2S``-partition with ``S*h >= q >= S*(h-1)`` where ``q`` is the game's
+  I/O count and ``h`` the number of subsets.
+* **Lemma 1** — therefore ``Q >= S * (H(2S) - 1)`` where ``H(2S)`` is the
+  *minimum* number of subsets of any valid ``2S``-partition.
+* **Corollary 1** — if ``U(2S)`` is the size of the largest vertex set of
+  any valid ``2S``-partition, then ``H(2S) >= |V'| / U(2S)`` (with
+  ``V' = V - I``) and hence ``Q >= S * (|V'|/U(2S) - 1)``.
+
+Exact computation of ``H(2S)`` or ``U(2S)`` is itself hard; the paper's
+strategy — which we follow — is to obtain *closed-form upper bounds* on
+``U(2S)`` from the CDAG's structure (e.g. ``U <= 4S(2S)^{1/d}`` for
+d-dimensional stencils), which yield valid lower bounds on ``Q``.  This
+module provides:
+
+* the arithmetic of Lemma 1 / Corollary 1 as checked functions;
+* an exhaustive ``H(2S)`` computation for tiny CDAGs (for validating the
+  machinery against the exact optimum);
+* a verifier for the Theorem 1 relation on (game, partition) pairs
+  produced by the constructive procedure of
+  :func:`repro.core.partition.partition_from_schedule`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.cdag import CDAG, Vertex
+from ..core.partition import SPartition, check_rbw_partition
+from ..pebbling.state import GameRecord
+
+__all__ = [
+    "lower_bound_from_partition_count",
+    "lower_bound_from_largest_subset",
+    "HongKungBound",
+    "verify_theorem1_relation",
+    "exhaustive_min_partition_count",
+]
+
+
+@dataclass(frozen=True)
+class HongKungBound:
+    """A lower bound derived from 2S-partition reasoning.
+
+    Attributes
+    ----------
+    value:
+        The lower bound on the I/O count ``Q``.
+    s:
+        The number of red pebbles ``S`` assumed.
+    h_lower:
+        The lower bound on the number of subsets ``H(2S)`` used.
+    u_upper:
+        The upper bound on the largest subset ``U(2S)`` used (may be
+        ``None`` when the bound came directly from ``h_lower``).
+    """
+
+    value: float
+    s: int
+    h_lower: float
+    u_upper: Optional[float] = None
+
+
+def lower_bound_from_partition_count(s: int, h_min: float) -> HongKungBound:
+    """Lemma 1: ``Q >= S * (H(2S) - 1)``.
+
+    ``h_min`` must be a valid lower bound on the minimum number of vertex
+    sets of any ``2S``-partition of the CDAG.
+    """
+    if s < 1:
+        raise ValueError("S must be >= 1")
+    if h_min < 0:
+        raise ValueError("H(2S) cannot be negative")
+    return HongKungBound(value=max(0.0, s * (h_min - 1)), s=s, h_lower=h_min)
+
+
+def lower_bound_from_largest_subset(
+    s: int, num_operations: int, u_upper: float
+) -> HongKungBound:
+    """Corollary 1: ``Q >= S * (|V'| / U(2S) - 1)``.
+
+    Parameters
+    ----------
+    s:
+        Number of red pebbles.
+    num_operations:
+        ``|V'| = |V - I|``, the number of operation vertices.
+    u_upper:
+        A valid *upper* bound on ``U(2S)`` (the largest subset size of any
+        valid ``2S``-partition).  Using an upper bound on ``U`` keeps the
+        resulting lower bound on ``Q`` valid.
+    """
+    if s < 1:
+        raise ValueError("S must be >= 1")
+    if u_upper <= 0:
+        raise ValueError("U(2S) must be positive")
+    if num_operations < 0:
+        raise ValueError("number of operations cannot be negative")
+    h_lower = num_operations / u_upper
+    return HongKungBound(
+        value=max(0.0, s * (h_lower - 1)),
+        s=s,
+        h_lower=h_lower,
+        u_upper=u_upper,
+    )
+
+
+def verify_theorem1_relation(cdag: CDAG, record: GameRecord, s: int) -> bool:
+    """Machine-check Theorem 1 on a concrete game.
+
+    Builds the ``2S``-partition associated with the game via the proof
+    construction (:func:`repro.core.partition.partition_from_game`) and
+    checks both halves of the theorem:
+
+    * the constructed partition is a valid RBW ``2S``-partition
+      (conditions P1-P4 of Definition 5), and
+    * the I/O count ``q`` of the game satisfies ``q >= S * (h - 1)`` where
+      ``h`` is the number of (non-empty) subsets.
+
+    Returns True when both hold.
+    """
+    from ..core.partition import partition_from_game
+
+    partition = partition_from_game(cdag, record.moves, s)
+    if check_rbw_partition(cdag, partition):
+        return False
+    q = record.io_count
+    return q >= s * (partition.h - 1)
+
+
+def exhaustive_min_partition_count(
+    cdag: CDAG, s: int, max_vertices: int = 14
+) -> int:
+    """Exact ``H(2S)`` for tiny CDAGs by exhaustive search over partitions.
+
+    The search enumerates partitions of the operation vertices into
+    ordered "runs" of a topological order — which is *not* fully general —
+    plus arbitrary set partitions when the CDAG has at most
+    ``max_vertices`` operations, checking RBW validity (Definition 5) for
+    each candidate and returning the smallest number of parts found.
+
+    Notes
+    -----
+    ``H(2S)`` minimisation over *all* partitions is exponential; the
+    arbitrary-set-partition path uses the standard restricted-growth-string
+    enumeration and is only feasible for roughly a dozen operations, which
+    is all the validation benches need.
+    """
+    ops = [v for v in cdag.vertices if not cdag.is_input(v)]
+    n = len(ops)
+    if n == 0:
+        return 0
+    if n > max_vertices:
+        raise ValueError(
+            f"exhaustive H(2S) limited to {max_vertices} operations, got {n}"
+        )
+
+    best = n  # singletons are always a valid partition if S >= max degree
+
+    # Enumerate set partitions via restricted growth strings, smallest
+    # number of blocks first by pruning on the current block count.
+    def rgs(prefix: List[int], max_label: int):
+        nonlocal best
+        idx = len(prefix)
+        blocks = max_label + 1
+        if blocks >= best:
+            return
+        if idx == n:
+            subsets: List[Set[Vertex]] = [set() for _ in range(blocks)]
+            for i, lab in enumerate(prefix):
+                subsets[lab].add(ops[i])
+            cand = SPartition(subsets=subsets, s=2 * s)
+            if not check_rbw_partition(cdag, cand):
+                best = min(best, blocks)
+            return
+        for lab in range(min(max_label + 1, best - 1) + 1):
+            rgs(prefix + [lab], max(max_label, lab))
+
+    rgs([0], 0)
+    return best

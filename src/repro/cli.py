@@ -1,0 +1,157 @@
+"""Command-line interface: regenerate the paper's tables from a shell.
+
+Usage::
+
+    python -m repro.cli table1
+    python -m repro.cli composite --sizes 4 8 16
+    python -m repro.cli cg --n 1000
+    python -m repro.cli gmres --m 5 10 50
+    python -m repro.cli jacobi --dimensions 1 2 3 5
+    python -m repro.cli validate
+    python -m repro.cli distsim --nodes 4 --cache 64
+    python -m repro.cli balance
+    python -m repro.cli all
+
+Each subcommand runs the corresponding experiment driver from
+:mod:`repro.evaluation.experiments` and prints the reproduced table; the
+``all`` subcommand runs everything the benchmark harness covers (E1-E9)
+with default parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .evaluation import (
+    experiment_balance_conditions,
+    experiment_bound_validation,
+    experiment_cg_bounds,
+    experiment_composite_example,
+    experiment_distsim_parallel,
+    experiment_gmres_bounds,
+    experiment_jacobi_bounds,
+    experiment_matmul_bounds,
+    experiment_table1_machines,
+    render_report,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the evaluation of Elango et al., SPAA 2014 "
+        "(data movement complexity of CDAGs).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1: machine balance parameters")
+
+    p = sub.add_parser("composite", help="Section 3 composite example")
+    p.add_argument("--sizes", type=int, nargs="+", default=[4, 8, 16])
+    p.add_argument("--cache", type=int, default=64, help="fast memory words S")
+
+    p = sub.add_parser("cg", help="Section 5.2: CG analysis")
+    p.add_argument("--n", type=int, default=1000)
+    p.add_argument("--dimensions", type=int, default=3)
+
+    p = sub.add_parser("gmres", help="Section 5.3: GMRES analysis")
+    p.add_argument("--n", type=int, default=1000)
+    p.add_argument("--m", type=int, nargs="+", default=[5, 10, 20, 50, 100, 200])
+
+    p = sub.add_parser("jacobi", help="Section 5.4: Jacobi analysis")
+    p.add_argument("--dimensions", type=int, nargs="+",
+                   default=[1, 2, 3, 4, 5, 6, 8, 11])
+
+    p = sub.add_parser("matmul", help="matmul bound sandwich")
+    p.add_argument("--sizes", type=int, nargs="+", default=[4, 6])
+    p.add_argument("--cache", type=int, nargs="+", default=[8, 16, 32])
+
+    sub.add_parser("validate", help="LB <= OPT <= UB sandwich on small CDAGs")
+
+    p = sub.add_parser("distsim", help="simulated cluster vs parallel bounds")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--cache", type=int, default=64)
+    p.add_argument("--side", type=int, default=24, help="grid side length")
+    p.add_argument("--timesteps", type=int, default=6)
+
+    sub.add_parser("balance", help="balance-condition summary (E9)")
+    sub.add_parser("all", help="run every experiment with default parameters")
+    return parser
+
+
+def _run_one(name: str, args: argparse.Namespace) -> str:
+    """Run a single experiment and return its rendered report."""
+    if name == "table1":
+        return render_report(
+            "Table 1 — machine specifications", experiment_table1_machines()
+        )
+    if name == "composite":
+        return render_report(
+            "Section 3 — composite example",
+            experiment_composite_example(sizes=tuple(args.sizes), s=args.cache),
+        )
+    if name == "cg":
+        return render_report(
+            "Section 5.2.3 — CG analysis",
+            experiment_cg_bounds(n=args.n, dimensions=args.dimensions),
+        )
+    if name == "gmres":
+        return render_report(
+            "Section 5.3.3 — GMRES analysis",
+            experiment_gmres_bounds(n=args.n, krylov_dimensions=tuple(args.m)),
+        )
+    if name == "jacobi":
+        return render_report(
+            "Section 5.4.3 — Jacobi analysis",
+            experiment_jacobi_bounds(dimensions=tuple(args.dimensions)),
+        )
+    if name == "matmul":
+        return render_report(
+            "Matmul bound sandwich",
+            experiment_matmul_bounds(sizes=tuple(args.sizes),
+                                     cache_sizes=tuple(args.cache)),
+        )
+    if name == "validate":
+        return render_report(
+            "Bound-machinery validation", experiment_bound_validation()
+        )
+    if name == "distsim":
+        return render_report(
+            "Simulated cluster vs parallel bounds",
+            experiment_distsim_parallel(
+                shape=(args.side, args.side),
+                timesteps=args.timesteps,
+                num_nodes=args.nodes,
+                cache_words=args.cache,
+            ),
+        )
+    if name == "balance":
+        return render_report(
+            "Balance-condition summary", experiment_balance_conditions()
+        )
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "all":
+        defaults = build_parser()
+        for name in ("table1", "composite", "cg", "gmres", "jacobi",
+                     "matmul", "validate", "distsim", "balance"):
+            sub_args = defaults.parse_args([name])
+            print(_run_one(name, sub_args))
+            print()
+    else:
+        print(_run_one(args.command, args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,581 @@
+"""Computational DAG (CDAG) data structure.
+
+The CDAG is the computational model of the paper (Definition 1, "CDAG-HK"
+following Bilardi & Peserico's notation): a 4-tuple ``C = (I, V, E, O)``
+where
+
+* ``V`` is the set of vertices, each representing one computational
+  operation (or one input value),
+* ``E ⊆ V × V`` is the set of data-flow edges,
+* ``I ⊆ V`` is the *input set* (vertices whose values initially reside in
+  slow memory -- they carry a blue pebble at the start of a pebble game),
+* ``O ⊆ V`` is the *output set* (vertices whose values must reside in slow
+  memory at the end -- they must carry a blue pebble when a game ends).
+
+Two properties make the CDAG a convenient abstraction for data-movement
+analysis (Section 2.1 of the paper):
+
+1. no particular execution order is specified -- only the partial order
+   induced by the edges;
+2. no memory locations are associated with operands or results.
+
+The :class:`CDAG` class in this module is a light-weight, hashable-vertex
+DAG with explicit input/output *tagging*.  Tagging is deliberately kept
+separate from graph structure because the Red-Blue-White game (Section 3)
+allows relabelling vertices as inputs/outputs without changing the graph
+(Theorem 3, "Input/Output (Un)Tagging").
+
+The class intentionally stores the graph as plain adjacency dictionaries
+(successors / predecessors) rather than wrapping :mod:`networkx`
+everywhere: pebble-game simulation is hot-path code and benefits from the
+flat representation, while conversion to :class:`networkx.DiGraph` is
+provided for the analyses (dominators, min-cuts) that want library
+algorithms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import networkx as nx
+
+Vertex = Hashable
+
+__all__ = [
+    "Vertex",
+    "CDAGError",
+    "CycleError",
+    "CDAG",
+    "CDAGBuilder",
+]
+
+
+class CDAGError(ValueError):
+    """Raised when a CDAG violates a structural invariant."""
+
+
+class CycleError(CDAGError):
+    """Raised when the proposed edge set contains a directed cycle."""
+
+
+@dataclass(frozen=True)
+class _Stats:
+    """Summary statistics of a CDAG, returned by :meth:`CDAG.stats`."""
+
+    num_vertices: int
+    num_edges: int
+    num_inputs: int
+    num_outputs: int
+    num_operations: int
+    max_in_degree: int
+    max_out_degree: int
+    num_sources: int
+    num_sinks: int
+    depth: int
+
+
+class CDAG:
+    """A computational directed acyclic graph ``C = (I, V, E, O)``.
+
+    Parameters
+    ----------
+    vertices:
+        Iterable of hashable vertex identifiers.  Order of first
+        appearance is preserved and used as a deterministic tie-break in
+        iteration (important for reproducible games and partitions).
+    edges:
+        Iterable of ``(u, v)`` pairs, meaning *the value produced at u is
+        consumed by v*.
+    inputs:
+        Vertices tagged as inputs (``I``).  Under the Hong-Kung convention
+        every source vertex is an input; under the RBW convention tagging
+        is free (Section 3, "Flexible input/output vertex labeling").
+    outputs:
+        Vertices tagged as outputs (``O``).
+
+    Notes
+    -----
+    * The graph must be acyclic; a :class:`CycleError` is raised otherwise.
+    * Inputs are allowed to have incoming edges only if
+      ``allow_nonsource_inputs`` is set (this never happens for CDAGs
+      built by this library but is permitted by the general definition
+      when retagging).
+    """
+
+    __slots__ = (
+        "_succ",
+        "_pred",
+        "_inputs",
+        "_outputs",
+        "_order",
+        "_topo_cache",
+        "name",
+    )
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] = (),
+        edges: Iterable[Tuple[Vertex, Vertex]] = (),
+        inputs: Iterable[Vertex] = (),
+        outputs: Iterable[Vertex] = (),
+        name: str = "cdag",
+        validate: bool = True,
+    ) -> None:
+        self._succ: Dict[Vertex, List[Vertex]] = {}
+        self._pred: Dict[Vertex, List[Vertex]] = {}
+        self._order: Dict[Vertex, int] = {}
+        self._topo_cache: Optional[List[Vertex]] = None
+        self.name = name
+
+        for v in vertices:
+            self._add_vertex(v)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+        self._inputs: Set[Vertex] = set()
+        self._outputs: Set[Vertex] = set()
+        for v in inputs:
+            self.tag_input(v)
+        for v in outputs:
+            self.tag_output(v)
+
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _add_vertex(self, v: Vertex) -> None:
+        if v not in self._succ:
+            self._succ[v] = []
+            self._pred[v] = []
+            self._order[v] = len(self._order)
+            self._topo_cache = None
+
+    def add_vertex(self, v: Vertex) -> Vertex:
+        """Add a vertex (no-op if it already exists) and return it."""
+        self._add_vertex(v)
+        return v
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the data-flow edge ``u -> v``, creating missing endpoints."""
+        if u == v:
+            raise CycleError(f"self loop on vertex {u!r}")
+        self._add_vertex(u)
+        self._add_vertex(v)
+        if v not in self._succ[u]:
+            self._succ[u].append(v)
+            self._pred[v].append(u)
+            self._topo_cache = None
+
+    def tag_input(self, v: Vertex) -> None:
+        """Tag ``v`` as a member of the input set ``I``."""
+        if v not in self._succ:
+            raise CDAGError(f"cannot tag unknown vertex {v!r} as input")
+        self._inputs.add(v)
+
+    def tag_output(self, v: Vertex) -> None:
+        """Tag ``v`` as a member of the output set ``O``."""
+        if v not in self._succ:
+            raise CDAGError(f"cannot tag unknown vertex {v!r} as output")
+        self._outputs.add(v)
+
+    def untag_input(self, v: Vertex) -> None:
+        """Remove ``v`` from the input set (Theorem 3 style relabelling)."""
+        self._inputs.discard(v)
+
+    def untag_output(self, v: Vertex) -> None:
+        """Remove ``v`` from the output set."""
+        self._outputs.discard(v)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> List[Vertex]:
+        """All vertices, in insertion order."""
+        return list(self._succ)
+
+    @property
+    def inputs(self) -> FrozenSet[Vertex]:
+        """The input set ``I``."""
+        return frozenset(self._inputs)
+
+    @property
+    def outputs(self) -> FrozenSet[Vertex]:
+        """The output set ``O``."""
+        return frozenset(self._outputs)
+
+    @property
+    def operations(self) -> List[Vertex]:
+        """The operation set ``V - I`` (vertices that must be computed)."""
+        return [v for v in self._succ if v not in self._inputs]
+
+    def edges(self) -> Iterator[Tuple[Vertex, Vertex]]:
+        """Iterate over all edges as ``(u, v)`` pairs."""
+        for u, vs in self._succ.items():
+            for v in vs:
+                yield (u, v)
+
+    def successors(self, v: Vertex) -> List[Vertex]:
+        """Immediate successors (consumers) of ``v``."""
+        return list(self._succ[v])
+
+    def predecessors(self, v: Vertex) -> List[Vertex]:
+        """Immediate predecessors (operands) of ``v``."""
+        return list(self._pred[v])
+
+    def in_degree(self, v: Vertex) -> int:
+        return len(self._pred[v])
+
+    def out_degree(self, v: Vertex) -> int:
+        return len(self._succ[v])
+
+    def has_vertex(self, v: Vertex) -> bool:
+        return v in self._succ
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return v in self._succ.get(u, ())
+
+    def is_input(self, v: Vertex) -> bool:
+        return v in self._inputs
+
+    def is_output(self, v: Vertex) -> bool:
+        return v in self._outputs
+
+    def num_vertices(self) -> int:
+        return len(self._succ)
+
+    def num_edges(self) -> int:
+        return sum(len(vs) for vs in self._succ.values())
+
+    def sources(self) -> List[Vertex]:
+        """Vertices with no incoming edges."""
+        return [v for v in self._succ if not self._pred[v]]
+
+    def sinks(self) -> List[Vertex]:
+        """Vertices with no outgoing edges."""
+        return [v for v in self._succ if not self._succ[v]]
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._succ
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._succ)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CDAG(name={self.name!r}, |V|={self.num_vertices()}, "
+            f"|E|={self.num_edges()}, |I|={len(self._inputs)}, "
+            f"|O|={len(self._outputs)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Orders and traversal
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[Vertex]:
+        """Return one topological order (Kahn's algorithm, deterministic).
+
+        The order is cached; mutating the CDAG invalidates the cache.
+        """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        indeg = {v: len(self._pred[v]) for v in self._succ}
+        ready = deque(sorted((v for v, d in indeg.items() if d == 0),
+                             key=self._order.__getitem__))
+        order: List[Vertex] = []
+        while ready:
+            v = ready.popleft()
+            order.append(v)
+            for w in self._succ[v]:
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    ready.append(w)
+        if len(order) != len(self._succ):
+            raise CycleError("graph contains a directed cycle")
+        self._topo_cache = order
+        return list(order)
+
+    def is_acyclic(self) -> bool:
+        """True if the edge set is acyclic."""
+        try:
+            self.topological_order()
+            return True
+        except CycleError:
+            return False
+
+    def ancestors(self, v: Vertex) -> Set[Vertex]:
+        """All strict ancestors of ``v`` (vertices with a path to ``v``)."""
+        seen: Set[Vertex] = set()
+        stack = list(self._pred[v])
+        while stack:
+            u = stack.pop()
+            if u not in seen:
+                seen.add(u)
+                stack.extend(self._pred[u])
+        return seen
+
+    def descendants(self, v: Vertex) -> Set[Vertex]:
+        """All strict descendants of ``v``."""
+        seen: Set[Vertex] = set()
+        stack = list(self._succ[v])
+        while stack:
+            u = stack.pop()
+            if u not in seen:
+                seen.add(u)
+                stack.extend(self._succ[u])
+        return seen
+
+    def reachable_from(self, sources: Iterable[Vertex]) -> Set[Vertex]:
+        """All vertices reachable from ``sources`` (inclusive)."""
+        seen: Set[Vertex] = set()
+        stack = list(sources)
+        while stack:
+            u = stack.pop()
+            if u not in seen:
+                seen.add(u)
+                stack.extend(self._succ[u])
+        return seen
+
+    def depth(self) -> int:
+        """Length (number of vertices) of the longest path in the CDAG."""
+        longest = {v: 1 for v in self._succ}
+        for v in self.topological_order():
+            for w in self._succ[v]:
+                if longest[v] + 1 > longest[w]:
+                    longest[w] = longest[v] + 1
+        return max(longest.values()) if longest else 0
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, hong_kung: bool = False) -> None:
+        """Check structural invariants; raise :class:`CDAGError` on failure.
+
+        Parameters
+        ----------
+        hong_kung:
+            When True, additionally enforce the Hong-Kung convention of
+            Definition 2: every source vertex must be an input and every
+            sink vertex must be an output.
+        """
+        self.topological_order()  # raises CycleError on cycles
+        for v in self._inputs:
+            if v not in self._succ:
+                raise CDAGError(f"input {v!r} is not a vertex")
+        for v in self._outputs:
+            if v not in self._succ:
+                raise CDAGError(f"output {v!r} is not a vertex")
+        if hong_kung:
+            for v in self.sources():
+                if v not in self._inputs:
+                    raise CDAGError(
+                        f"Hong-Kung convention violated: source {v!r} is "
+                        "not tagged as input"
+                    )
+            for v in self.sinks():
+                if v not in self._outputs:
+                    raise CDAGError(
+                        f"Hong-Kung convention violated: sink {v!r} is "
+                        "not tagged as output"
+                    )
+
+    def stats(self) -> _Stats:
+        """Return summary statistics for reports and sanity checks."""
+        return _Stats(
+            num_vertices=self.num_vertices(),
+            num_edges=self.num_edges(),
+            num_inputs=len(self._inputs),
+            num_outputs=len(self._outputs),
+            num_operations=self.num_vertices() - len(self._inputs),
+            max_in_degree=max((len(p) for p in self._pred.values()), default=0),
+            max_out_degree=max((len(s) for s in self._succ.values()), default=0),
+            num_sources=len(self.sources()),
+            num_sinks=len(self.sinks()),
+            depth=self.depth(),
+        )
+
+    # ------------------------------------------------------------------
+    # Derived CDAGs
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "CDAG":
+        """Deep copy of the CDAG (graph structure and tags)."""
+        return CDAG(
+            vertices=self.vertices,
+            edges=self.edges(),
+            inputs=self._inputs,
+            outputs=self._outputs,
+            name=name or self.name,
+            validate=False,
+        )
+
+    def induced_subgraph(
+        self,
+        vertices: Iterable[Vertex],
+        name: Optional[str] = None,
+        keep_tags: bool = True,
+    ) -> "CDAG":
+        """The sub-CDAG induced by ``vertices``.
+
+        Edges with an endpoint outside the vertex set are dropped.  Input
+        and output tags are restricted to the retained vertices
+        (``I_i = I ∩ V_i``, ``O_i = O ∩ V_i`` as in Theorem 2).
+        """
+        vset = set(vertices)
+        unknown = vset.difference(self._succ)
+        if unknown:
+            raise CDAGError(f"unknown vertices in subgraph request: {sorted(map(repr, unknown))[:5]}")
+        sub_edges = [(u, v) for u, v in self.edges() if u in vset and v in vset]
+        ordered = [v for v in self._succ if v in vset]
+        return CDAG(
+            vertices=ordered,
+            edges=sub_edges,
+            inputs=(self._inputs & vset) if keep_tags else (),
+            outputs=(self._outputs & vset) if keep_tags else (),
+            name=name or f"{self.name}[{len(vset)}]",
+            validate=False,
+        )
+
+    def retagged(
+        self,
+        add_inputs: Iterable[Vertex] = (),
+        add_outputs: Iterable[Vertex] = (),
+        remove_inputs: Iterable[Vertex] = (),
+        remove_outputs: Iterable[Vertex] = (),
+        name: Optional[str] = None,
+    ) -> "CDAG":
+        """Return a copy with modified input/output tags (Theorem 3).
+
+        The graph ``G = (V, E)`` is unchanged; only the labelling of
+        vertices as inputs/outputs changes.  This is the operation used
+        when comparing ``IO(C)`` and ``IO(C')`` in the (un)tagging
+        theorem.
+        """
+        new_inputs = (self._inputs | set(add_inputs)) - set(remove_inputs)
+        new_outputs = (self._outputs | set(add_outputs)) - set(remove_outputs)
+        return CDAG(
+            vertices=self.vertices,
+            edges=self.edges(),
+            inputs=new_inputs,
+            outputs=new_outputs,
+            name=name or f"{self.name}:retagged",
+            validate=False,
+        )
+
+    def without_io_vertices(self, name: Optional[str] = None) -> "CDAG":
+        """Drop input and output *vertices* entirely (Corollary 2 set-up).
+
+        Corollary 2 (Input/Output Deletion) relates ``IO(C')`` of a CDAG
+        with dedicated input/output vertices to ``IO(C) + |dI| + |dO|`` of
+        the CDAG with those vertices removed.  This helper produces ``C``
+        from ``C'``.
+        """
+        keep = [v for v in self._succ
+                if v not in self._inputs and v not in self._outputs]
+        return self.induced_subgraph(keep, name=name or f"{self.name}:core",
+                                     keep_tags=False)
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> nx.DiGraph:
+        """Convert to a :class:`networkx.DiGraph` (tags stored as attrs)."""
+        g = nx.DiGraph(name=self.name)
+        for v in self._succ:
+            g.add_node(v, is_input=v in self._inputs,
+                       is_output=v in self._outputs)
+        g.add_edges_from(self.edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, g: nx.DiGraph, name: Optional[str] = None) -> "CDAG":
+        """Build a CDAG from a DiGraph; ``is_input``/``is_output`` node
+        attributes become tags.  Untagged graphs get the Hong-Kung default
+        (sources are inputs, sinks are outputs)."""
+        inputs = [v for v, d in g.nodes(data=True) if d.get("is_input")]
+        outputs = [v for v, d in g.nodes(data=True) if d.get("is_output")]
+        cdag = cls(
+            vertices=g.nodes(),
+            edges=g.edges(),
+            inputs=inputs,
+            outputs=outputs,
+            name=name or (g.name or "cdag"),
+            validate=False,
+        )
+        if not inputs and not outputs:
+            for v in cdag.sources():
+                cdag.tag_input(v)
+            for v in cdag.sinks():
+                cdag.tag_output(v)
+        cdag.validate()
+        return cdag
+
+
+class CDAGBuilder:
+    """Incremental CDAG construction helper.
+
+    The builder assigns fresh integer-free symbolic names on demand and is
+    used by the tracing executor (:mod:`repro.core.trace`) and by the
+    algorithm-specific CDAG constructors.  Each ``operation`` call wires
+    the operands to a new vertex, mirroring how a single scalar operation
+    appears in the CDAG model.
+    """
+
+    def __init__(self, name: str = "cdag") -> None:
+        self._cdag = CDAG(name=name, validate=False)
+        self._counter = 0
+
+    def fresh(self, prefix: str = "v") -> Vertex:
+        """Return a fresh unique vertex name."""
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    def add_input(self, v: Optional[Vertex] = None, prefix: str = "in") -> Vertex:
+        """Add (and tag) an input vertex."""
+        v = v if v is not None else self.fresh(prefix)
+        self._cdag.add_vertex(v)
+        self._cdag.tag_input(v)
+        return v
+
+    def operation(
+        self,
+        operands: Sequence[Vertex],
+        v: Optional[Vertex] = None,
+        prefix: str = "op",
+        output: bool = False,
+    ) -> Vertex:
+        """Add a compute vertex consuming ``operands``; optionally tag as output."""
+        v = v if v is not None else self.fresh(prefix)
+        self._cdag.add_vertex(v)
+        for u in operands:
+            self._cdag.add_edge(u, v)
+        if output:
+            self._cdag.tag_output(v)
+        return v
+
+    def mark_output(self, v: Vertex) -> None:
+        self._cdag.tag_output(v)
+
+    def build(self, validate: bool = True, hong_kung: bool = False) -> CDAG:
+        """Finalize and return the CDAG."""
+        if validate:
+            self._cdag.validate(hong_kung=hong_kung)
+        return self._cdag

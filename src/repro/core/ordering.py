@@ -1,0 +1,177 @@
+"""Execution orders (schedules) for CDAGs.
+
+A *schedule* is a total order of the CDAG vertices consistent with the
+edge partial order.  Schedules matter in two ways for the paper's
+framework:
+
+* every pebble game induces a schedule (the order in which compute rule
+  R3/R6 fires), and conversely a schedule plus a spilling policy induces a
+  game — this is how upper bounds are produced;
+* the *schedule wavefront* (Section 3.3) of a schedule at a firing is the
+  live-set size, whose minimum over schedules relates to the min-cut
+  lower bound of Lemma 2.
+
+This module provides several schedule generators with different
+memory-pressure characteristics:
+
+* plain Kahn topological order (insertion-order tie-break);
+* depth-first post-order-ish scheduling, which tends to retire values
+  quickly (good for chains/trees);
+* a greedy *minimum-live-set* heuristic that at each step fires the ready
+  vertex minimizing the resulting live-value count — a practical
+  approximation of a memory-optimal order;
+* priority scheduling with a user-supplied key (used by the tiled /
+  blocked schedules of the algorithm modules).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from .cdag import CDAG, CDAGError, Vertex
+
+__all__ = [
+    "topological_schedule",
+    "dfs_schedule",
+    "min_liveset_schedule",
+    "priority_schedule",
+    "validate_schedule",
+]
+
+
+def validate_schedule(cdag: CDAG, schedule: Sequence[Vertex]) -> None:
+    """Raise :class:`CDAGError` unless ``schedule`` is a valid total order."""
+    pos = {v: i for i, v in enumerate(schedule)}
+    if len(pos) != len(schedule):
+        raise CDAGError("schedule contains duplicate vertices")
+    if set(pos) != set(cdag.vertices):
+        raise CDAGError("schedule must contain every vertex exactly once")
+    for u, v in cdag.edges():
+        if pos[u] > pos[v]:
+            raise CDAGError(f"schedule violates dependence {u!r} -> {v!r}")
+
+
+def topological_schedule(cdag: CDAG) -> List[Vertex]:
+    """Kahn topological order with deterministic insertion-order tie-break."""
+    return cdag.topological_order()
+
+
+def dfs_schedule(cdag: CDAG, reverse_roots: bool = False) -> List[Vertex]:
+    """Depth-first schedule.
+
+    Performs an iterative DFS from the source vertices, emitting a vertex
+    as soon as all its predecessors have been emitted.  For tree- and
+    chain-like CDAGs this tends to keep the live set small because whole
+    subtrees are finished before moving on.
+    """
+    emitted: Set[Vertex] = set()
+    remaining_preds: Dict[Vertex, int] = {
+        v: cdag.in_degree(v) for v in cdag.vertices
+    }
+    roots = [v for v in cdag.vertices if remaining_preds[v] == 0]
+    if reverse_roots:
+        roots = list(reversed(roots))
+    schedule: List[Vertex] = []
+    stack: List[Vertex] = list(reversed(roots))
+    queued: Set[Vertex] = set(roots)
+    while stack:
+        v = stack.pop()
+        if v in emitted:
+            continue
+        if remaining_preds[v] > 0:
+            # Not ready yet; it will be re-pushed when its last
+            # predecessor fires.
+            queued.discard(v)
+            continue
+        emitted.add(v)
+        schedule.append(v)
+        for w in reversed(cdag.successors(v)):
+            remaining_preds[w] -= 1
+            if remaining_preds[w] == 0 and w not in emitted:
+                stack.append(w)
+                queued.add(w)
+    if len(schedule) != cdag.num_vertices():
+        raise CDAGError("graph contains a directed cycle")
+    return schedule
+
+
+def min_liveset_schedule(cdag: CDAG) -> List[Vertex]:
+    """Greedy minimum-live-set schedule.
+
+    At each step, among ready vertices, fire the one whose firing leads to
+    the smallest live-value count: firing ``v`` adds 1 to the live set if
+    ``v`` has unfired successors and retires every predecessor whose last
+    unfired successor was ``v``.  Ties are broken by insertion order.
+
+    This is a heuristic (the problem of minimizing the peak live set is
+    NP-hard in general — it is equivalent to one-shot pebbling), but it
+    gives good upper bounds on ``w_max`` for the structured CDAGs used in
+    the evaluation and drives the spill-based upper-bound games.
+    """
+    remaining_succ: Dict[Vertex, int] = {
+        v: cdag.out_degree(v) for v in cdag.vertices
+    }
+    remaining_pred: Dict[Vertex, int] = {
+        v: cdag.in_degree(v) for v in cdag.vertices
+    }
+    order_index = {v: i for i, v in enumerate(cdag.vertices)}
+    ready: List[Vertex] = [v for v in cdag.vertices if remaining_pred[v] == 0]
+    fired: Set[Vertex] = set()
+    schedule: List[Vertex] = []
+
+    def delta(v: Vertex) -> int:
+        """Net change in live-set size caused by firing v."""
+        d = 1 if remaining_succ[v] > 0 else 0
+        for p in cdag.predecessors(v):
+            if remaining_succ[p] == 1:  # v is p's last unfired successor
+                d -= 1
+        return d
+
+    while ready:
+        ready.sort(key=lambda v: (delta(v), order_index[v]))
+        v = ready.pop(0)
+        fired.add(v)
+        schedule.append(v)
+        for p in cdag.predecessors(v):
+            remaining_succ[p] -= 1
+        for w in cdag.successors(v):
+            remaining_pred[w] -= 1
+            if remaining_pred[w] == 0:
+                ready.append(w)
+    if len(schedule) != cdag.num_vertices():
+        raise CDAGError("graph contains a directed cycle")
+    return schedule
+
+
+def priority_schedule(
+    cdag: CDAG, key: Callable[[Vertex], Tuple]
+) -> List[Vertex]:
+    """List scheduling with an arbitrary priority ``key`` (lower = earlier).
+
+    Ready vertices are kept in a heap ordered by ``key``; this is how the
+    blocked/tiled schedules of the algorithm modules (e.g. tile-by-tile
+    Jacobi) are expressed: the key encodes the tile index so that a whole
+    tile is finished before the next one starts.
+    """
+    counter = 0
+    remaining_pred: Dict[Vertex, int] = {
+        v: cdag.in_degree(v) for v in cdag.vertices
+    }
+    heap: List[Tuple[Tuple, int, Vertex]] = []
+    for v in cdag.vertices:
+        if remaining_pred[v] == 0:
+            heapq.heappush(heap, (key(v), counter, v))
+            counter += 1
+    schedule: List[Vertex] = []
+    while heap:
+        _, _, v = heapq.heappop(heap)
+        schedule.append(v)
+        for w in cdag.successors(v):
+            remaining_pred[w] -= 1
+            if remaining_pred[w] == 0:
+                heapq.heappush(heap, (key(w), counter, w))
+                counter += 1
+    if len(schedule) != cdag.num_vertices():
+        raise CDAGError("graph contains a directed cycle")
+    return schedule

@@ -1,0 +1,330 @@
+"""S-partitions of CDAGs (Hong-Kung and RBW variants).
+
+The 2S-partitioning technique of Hong & Kung relates any complete pebble
+game with ``S`` red pebbles to a partition of the CDAG into ``h`` subsets
+each "touching" at most ``2S`` boundary values, giving the key lower bound
+``Q >= S * (h_min - 1)`` (Lemma 1).
+
+Two flavours of the partition conditions exist in the paper:
+
+* **Hong-Kung S-partition** (Definition 3): a partition of *all* vertices
+  ``V`` into subsets ``V_1..V_h`` such that
+
+  - P1: the subsets are disjoint and cover ``V``;
+  - P2: no circuit between subsets (no pair of subsets with edges in both
+    directions);
+  - P3: each ``V_i`` has a dominator set of size at most ``S``;
+  - P4: ``|Min(V_i)| <= S``.
+
+* **RBW S-partition** (Definition 5): a partition of the *operation*
+  vertices ``V - I`` such that P1, P2 hold and
+
+  - P3': ``|In(V_i)| <= S``;
+  - P4': ``|Out(V_i)| <= S``.
+
+This module provides a partition container plus validity checkers for both
+variants, a constructor that extracts a 2S-partition from an executed RBW
+game (the constructive direction of Theorem 1, used for validation tests),
+and greedy partition *upper-bound* estimators for ``U(2S)`` (the largest
+admissible vertex-set size), which plugs into Corollary 1 and Theorems 6/7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .cdag import CDAG, CDAGError, Vertex
+from .properties import (
+    has_circuit_between,
+    in_set,
+    is_dominator,
+    minimal_dominator_size,
+    minimum_set,
+    out_set,
+)
+
+__all__ = [
+    "SPartition",
+    "PartitionViolation",
+    "check_hong_kung_partition",
+    "check_rbw_partition",
+    "greedy_rbw_partition",
+    "partition_from_schedule",
+    "largest_admissible_subset",
+]
+
+
+class PartitionViolation(CDAGError):
+    """Raised (or collected) when a partition violates P1-P4."""
+
+
+@dataclass
+class SPartition:
+    """A candidate S-partition: an ordered list of disjoint vertex subsets.
+
+    Attributes
+    ----------
+    subsets:
+        The vertex subsets ``V_1, ..., V_h`` in order.
+    s:
+        The value of ``S`` the partition is claimed to be valid for
+        (a *2S*-partition obtained from a game with ``S`` red pebbles has
+        ``s = 2 * S_pebbles``).
+    """
+
+    subsets: List[Set[Vertex]]
+    s: int
+
+    @property
+    def h(self) -> int:
+        """Number of subsets in the partition."""
+        return len(self.subsets)
+
+    def all_vertices(self) -> Set[Vertex]:
+        out: Set[Vertex] = set()
+        for sub in self.subsets:
+            out |= sub
+        return out
+
+    def subset_of(self, v: Vertex) -> Optional[int]:
+        """Index of the subset containing ``v``, or None."""
+        for i, sub in enumerate(self.subsets):
+            if v in sub:
+                return i
+        return None
+
+    def largest_subset_size(self) -> int:
+        return max((len(s) for s in self.subsets), default=0)
+
+
+def _check_disjoint_cover(
+    partition: SPartition, expected: Set[Vertex]
+) -> List[str]:
+    errors: List[str] = []
+    seen: Set[Vertex] = set()
+    for i, sub in enumerate(partition.subsets):
+        overlap = seen & sub
+        if overlap:
+            errors.append(
+                f"P1 violated: subset {i} overlaps earlier subsets on "
+                f"{sorted(map(repr, overlap))[:3]}"
+            )
+        seen |= sub
+    missing = expected - seen
+    extra = seen - expected
+    if missing:
+        errors.append(
+            f"P1 violated: {len(missing)} vertices uncovered, e.g. "
+            f"{sorted(map(repr, missing))[:3]}"
+        )
+    if extra:
+        errors.append(
+            f"P1 violated: {len(extra)} foreign vertices, e.g. "
+            f"{sorted(map(repr, extra))[:3]}"
+        )
+    return errors
+
+
+def _check_no_circuits(cdag: CDAG, partition: SPartition) -> List[str]:
+    """P2: no pair of subsets with edges in both directions.
+
+    Implemented on the quotient graph in O(|E|) rather than pairwise.
+    """
+    errors: List[str] = []
+    owner: Dict[Vertex, int] = {}
+    for i, sub in enumerate(partition.subsets):
+        for v in sub:
+            owner[v] = i
+    forward: Set[Tuple[int, int]] = set()
+    for u, v in cdag.edges():
+        iu, iv = owner.get(u), owner.get(v)
+        if iu is None or iv is None or iu == iv:
+            continue
+        forward.add((iu, iv))
+    for (a, b) in forward:
+        if (b, a) in forward and a < b:
+            errors.append(f"P2 violated: circuit between subsets {a} and {b}")
+    return errors
+
+
+def check_hong_kung_partition(
+    cdag: CDAG, partition: SPartition, exact_dominator: bool = False
+) -> List[str]:
+    """Validate a Hong-Kung S-partition (Definition 3).  Returns violations.
+
+    Parameters
+    ----------
+    exact_dominator:
+        When True, the minimum dominator size of each subset is computed
+        exactly via max-flow.  When False (default) a cheaper sufficient
+        check is used first (``In(V_i) ∪ (I ∩ V_i)`` is always a
+        dominator), falling back to the exact computation only when the
+        cheap dominator is too large.
+    """
+    errors = _check_disjoint_cover(partition, set(cdag.vertices))
+    errors += _check_no_circuits(cdag, partition)
+    s = partition.s
+    known_vertices = set(cdag.vertices)
+    for i, sub in enumerate(partition.subsets):
+        sub = set(sub) & known_vertices
+        if not sub:
+            continue
+        # P3: exists a dominator of size <= S.
+        cheap = in_set(cdag, sub) | (set(cdag.inputs) & sub)
+        if len(cheap) > s or exact_dominator:
+            dom_size = minimal_dominator_size(cdag, sub)
+            if dom_size > s:
+                errors.append(
+                    f"P3 violated: subset {i} has minimum dominator "
+                    f"{dom_size} > S={s}"
+                )
+        # P4: |Min(V_i)| <= S.
+        msize = len(minimum_set(cdag, sub))
+        if msize > s:
+            errors.append(
+                f"P4 violated: subset {i} has |Min| = {msize} > S={s}"
+            )
+    return errors
+
+
+def check_rbw_partition(cdag: CDAG, partition: SPartition) -> List[str]:
+    """Validate an RBW S-partition (Definition 5).  Returns violations.
+
+    The partition must cover ``V - I`` (operation vertices only) and each
+    subset must satisfy ``|In(V_i)| <= S`` and ``|Out(V_i)| <= S``.
+    """
+    expected = set(cdag.vertices) - set(cdag.inputs)
+    errors = _check_disjoint_cover(partition, expected)
+    errors += _check_no_circuits(cdag, partition)
+    s = partition.s
+    known_vertices = set(cdag.vertices)
+    for i, sub in enumerate(partition.subsets):
+        # Foreign vertices are already reported by the P1 check; restrict
+        # the structural checks to the vertices that belong to the CDAG.
+        sub = set(sub) & known_vertices
+        if not sub:
+            continue
+        isize = len(in_set(cdag, sub))
+        if isize > s:
+            errors.append(
+                f"P3 violated: subset {i} has |In| = {isize} > S={s}"
+            )
+        osize = len(out_set(cdag, sub))
+        if osize > s:
+            errors.append(
+                f"P4 violated: subset {i} has |Out| = {osize} > S={s}"
+            )
+    return errors
+
+
+def partition_from_game(cdag: CDAG, moves, s: int) -> SPartition:
+    """Build the ``2S``-partition associated with a game (Theorem 1 proof).
+
+    The constructive direction of Theorem 1 slices a complete game with
+    ``S`` red pebbles into consecutive phases containing (at most) ``S``
+    I/O transitions each; the vertices *computed* during phase ``i`` form
+    the subset ``V_i``.  Because at most ``S`` values can enter a phase
+    from slow memory and at most ``S`` can already be in fast memory when
+    it starts (and symmetrically for outputs), every ``V_i`` satisfies the
+    RBW ``2S``-partition conditions, and the number of phases ``h``
+    satisfies ``S*h >= q >= S*(h-1)`` where ``q`` is the game's I/O count.
+
+    Parameters
+    ----------
+    cdag:
+        The CDAG the game was played on.
+    moves:
+        The move sequence of a complete game
+        (e.g. ``GameRecord.moves``).
+    s:
+        The number of red pebbles the game used.
+    """
+    from ..pebbling.state import MoveKind  # local import to avoid a cycle
+
+    subsets: List[Set[Vertex]] = []
+    current: Set[Vertex] = set()
+    io_in_phase = 0
+    for move in moves:
+        if move.kind in (MoveKind.LOAD, MoveKind.STORE):
+            if io_in_phase >= s:
+                # close the phase before admitting the (S+1)-th I/O
+                if current:
+                    subsets.append(current)
+                    current = set()
+                io_in_phase = 0
+            io_in_phase += 1
+        elif move.kind == MoveKind.COMPUTE:
+            current.add(move.vertex)
+    if current:
+        subsets.append(current)
+    return SPartition(subsets=subsets, s=2 * s)
+
+
+def partition_from_schedule(
+    cdag: CDAG, schedule: Sequence[Vertex], s: int
+) -> SPartition:
+    """Build an RBW ``2S``-partition by greedily cutting a schedule.
+
+    This mirrors the constructive direction of Theorem 1: walking a valid
+    execution order, we close the current subset as soon as adding the
+    next vertex would push ``|In|`` or ``|Out|`` beyond ``2S``.  The
+    resulting partition is always a valid RBW ``2S``-partition (each
+    subset is a contiguous slice of a topological order, so P2 holds),
+    and its ``h`` upper-bounds ``H(2S)``, hence the implied bound
+    ``S*(h-1)`` *under*-estimates nothing — it is primarily used for
+    cross-checking and for empirical ``U(2S)`` estimation.
+    """
+    ops = [v for v in schedule if not cdag.is_input(v)]
+    limit = 2 * s
+    subsets: List[Set[Vertex]] = []
+    current: Set[Vertex] = set()
+    for v in ops:
+        candidate = current | {v}
+        if (
+            current
+            and (
+                len(in_set(cdag, candidate)) > limit
+                or len(out_set(cdag, candidate)) > limit
+            )
+        ):
+            subsets.append(current)
+            current = {v}
+        else:
+            current = candidate
+    if current:
+        subsets.append(current)
+    return SPartition(subsets=subsets, s=limit)
+
+
+def greedy_rbw_partition(cdag: CDAG, s: int) -> SPartition:
+    """Greedy RBW ``2S``-partition along a default topological order."""
+    return partition_from_schedule(cdag, cdag.topological_order(), s)
+
+
+def largest_admissible_subset(
+    cdag: CDAG,
+    s: int,
+    schedules: Optional[Iterable[Sequence[Vertex]]] = None,
+) -> int:
+    """Empirical estimate of ``U(2S)``: the largest subset size achievable
+    in a valid ``2S``-partition.
+
+    ``U(2S)`` appears in Corollary 1 and Theorems 6/7: the parallel lower
+    bounds take the form ``(|V| / U(C, 2S) - 1) * S``.  For the algorithms
+    analysed in the paper, closed forms of ``U`` are known (e.g.
+    ``U = 4S*(2S)^{1/d}`` for d-dimensional Jacobi); this function gives a
+    *lower* bound on the true ``U(2S)`` by construction (any valid subset
+    exhibits feasibility), which turns the derived I/O bound into an
+    *upper* estimate of the true lower bound — useful for sanity-checking
+    the closed forms on small instances, not as a certified bound.
+
+    The estimator greedily grows subsets along one or more schedules and
+    reports the largest subset seen.
+    """
+    best = 0
+    pools = list(schedules) if schedules is not None else [cdag.topological_order()]
+    for sched in pools:
+        part = partition_from_schedule(cdag, sched, s)
+        best = max(best, part.largest_subset_size())
+    return best

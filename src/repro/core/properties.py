@@ -1,0 +1,386 @@
+"""Structural properties of CDAGs used by the lower-bound machinery.
+
+This module implements the graph-theoretic notions that the paper's
+partitioning and min-cut lower bounds rely on:
+
+* **Dominator sets** (Definition 3, P3): a set ``D`` *dominates* a vertex
+  set ``V_i`` if every path from the input set ``I`` to a vertex of
+  ``V_i`` passes through some vertex of ``D``.  The Hong-Kung
+  2S-partition condition requires a dominator of size at most ``S``.
+* **Minimum sets** (Definition 3, P4): ``Min(V_i)`` is the set of
+  vertices of ``V_i`` all of whose successors lie outside ``V_i``.
+* **In/Out sets** (Definition 5, the RBW variant): ``In(V_i)`` is the set
+  of vertices outside ``V_i`` with a successor inside; ``Out(V_i)`` is
+  the set of vertices of ``V_i`` that are outputs or have a successor
+  outside ``V_i``.
+* **Convex cuts and wavefronts** (Section 3.3): for a vertex ``x``, the
+  convex cut ``(S_x, T_x)`` puts ``x`` and its ancestors in ``S_x``, the
+  descendants in ``T_x``, with no edge from ``T_x`` to ``S_x``.  The
+  *wavefront* induced by the cut is the set of vertices of ``S_x`` with
+  an outgoing edge into ``T_x``; its minimum cardinality over valid cuts,
+  ``|W^min_G(x)|``, is a vertex min-cut and feeds Lemma 2.
+* **Schedule wavefronts**: the memory footprint of a concrete execution
+  order at each firing (used both for validating the min-cut bound and
+  for the upper-bound schedulers).
+
+The vertex min-cut is computed by the classic vertex-splitting reduction
+to edge min-cut / max-flow, using :mod:`networkx` maximum-flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from .cdag import CDAG, CDAGError, Vertex
+
+__all__ = [
+    "in_set",
+    "out_set",
+    "minimum_set",
+    "is_dominator",
+    "minimal_dominator_size",
+    "has_circuit_between",
+    "convex_cut_for_vertex",
+    "is_convex_cut",
+    "wavefront_of_cut",
+    "min_wavefront",
+    "max_min_wavefront",
+    "schedule_wavefronts",
+    "max_schedule_wavefront",
+]
+
+
+# ----------------------------------------------------------------------
+# In / Out / Min sets (Definitions 3 and 5)
+# ----------------------------------------------------------------------
+def in_set(cdag: CDAG, vertex_set: Iterable[Vertex]) -> Set[Vertex]:
+    """``In(V_i)``: vertices of ``V \\ V_i`` with at least one successor in ``V_i``.
+
+    This is the RBW-game notion used in Definition 5 (P3).  Values of
+    ``In(V_i)`` must be brought into fast memory (or already be there)
+    before the vertices of ``V_i`` can fire.
+    """
+    vset = set(vertex_set)
+    result: Set[Vertex] = set()
+    for v in vset:
+        for p in cdag.predecessors(v):
+            if p not in vset:
+                result.add(p)
+    return result
+
+
+def out_set(cdag: CDAG, vertex_set: Iterable[Vertex]) -> Set[Vertex]:
+    """``Out(V_i)``: vertices of ``V_i`` that are outputs of the CDAG or
+    have at least one successor outside ``V_i`` (Definition 5, P4)."""
+    vset = set(vertex_set)
+    result: Set[Vertex] = set()
+    for v in vset:
+        if cdag.is_output(v):
+            result.add(v)
+            continue
+        for s in cdag.successors(v):
+            if s not in vset:
+                result.add(v)
+                break
+    return result
+
+
+def minimum_set(cdag: CDAG, vertex_set: Iterable[Vertex]) -> Set[Vertex]:
+    """``Min(V_i)``: vertices of ``V_i`` all of whose successors are outside ``V_i``.
+
+    This is the Hong-Kung notion from Definition 3 (P4).  Note the subtle
+    difference with :func:`out_set`: ``Min`` requires *all* successors
+    outside, ``Out`` requires *at least one* (or being a CDAG output).
+    Sink vertices (no successors at all) belong to ``Min(V_i)``
+    vacuously.
+    """
+    vset = set(vertex_set)
+    result: Set[Vertex] = set()
+    for v in vset:
+        succs = cdag.successors(v)
+        if all(s not in vset for s in succs):
+            result.add(v)
+    return result
+
+
+def is_dominator(
+    cdag: CDAG,
+    candidate: Iterable[Vertex],
+    vertex_set: Iterable[Vertex],
+    sources: Optional[Iterable[Vertex]] = None,
+) -> bool:
+    """Check whether ``candidate`` dominates ``vertex_set``.
+
+    ``candidate ∈ Dom(V_i)`` iff every path from the input set ``I``
+    (or ``sources`` if given) to a vertex in ``V_i`` contains a vertex of
+    ``candidate``.  Implemented by removing ``candidate`` and testing
+    reachability.
+    """
+    dom = set(candidate)
+    targets = set(vertex_set) - dom
+    if not targets:
+        return True
+    starts = set(sources) if sources is not None else set(cdag.inputs)
+    starts -= dom
+    # BFS from the sources avoiding dominator vertices.
+    seen: Set[Vertex] = set()
+    stack = [s for s in starts if s in cdag]
+    while stack:
+        u = stack.pop()
+        if u in seen:
+            continue
+        seen.add(u)
+        if u in targets:
+            return False
+        for w in cdag.successors(u):
+            if w not in dom and w not in seen:
+                stack.append(w)
+    return True
+
+
+def minimal_dominator_size(
+    cdag: CDAG,
+    vertex_set: Iterable[Vertex],
+    sources: Optional[Iterable[Vertex]] = None,
+) -> int:
+    """Size of a minimum dominator set of ``vertex_set`` w.r.t. the inputs.
+
+    Computed exactly as a vertex min-cut between a super-source connected
+    to the CDAG inputs and a super-sink connected *from* the target set,
+    where every ordinary vertex may be "cut".  Vertices of the target set
+    itself are allowed in the dominator (a vertex trivially dominates
+    itself), which matches the paper's definition of ``Dom``.
+    """
+    vset = set(vertex_set)
+    if not vset:
+        return 0
+    starts = set(sources) if sources is not None else set(cdag.inputs)
+    starts = {s for s in starts if s in cdag}
+    if not starts:
+        return 0
+    # If an input is itself in the target set, it must be in any dominator
+    # (the trivial path of length 0 ends at it); vertex-splitting handles
+    # this naturally because the path source->...->target passes through
+    # the split node.
+    g = nx.DiGraph()
+    INF = float("inf")
+    source, sink = ("__dom_src__",), ("__dom_snk__",)
+
+    def v_in(v: Vertex) -> Tuple[str, Vertex]:
+        return ("in", v)
+
+    def v_out(v: Vertex) -> Tuple[str, Vertex]:
+        return ("out", v)
+
+    for v in cdag.vertices:
+        g.add_edge(v_in(v), v_out(v), capacity=1)
+    for u, v in cdag.edges():
+        g.add_edge(v_out(u), v_in(v), capacity=INF)
+    for s in starts:
+        g.add_edge(source, v_in(s), capacity=INF)
+    for t in vset:
+        g.add_edge(v_out(t), sink, capacity=INF)
+    cut_value, _ = nx.minimum_cut(g, source, sink)
+    return int(cut_value)
+
+
+def has_circuit_between(
+    cdag: CDAG, set_a: Iterable[Vertex], set_b: Iterable[Vertex]
+) -> bool:
+    """True if there are edges both from ``set_a`` to ``set_b`` and back.
+
+    Definition 3 / Definition 5 (P2) forbid such "circuits" between the
+    subsets of an S-partition.
+    """
+    a, b = set(set_a), set(set_b)
+    a_to_b = b_to_a = False
+    for u, v in cdag.edges():
+        if u in a and v in b:
+            a_to_b = True
+        elif u in b and v in a:
+            b_to_a = True
+        if a_to_b and b_to_a:
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Convex cuts and wavefronts (Section 3.3)
+# ----------------------------------------------------------------------
+def convex_cut_for_vertex(
+    cdag: CDAG, x: Vertex, extra_in_s: Iterable[Vertex] = ()
+) -> Tuple[Set[Vertex], Set[Vertex]]:
+    """A canonical convex cut ``(S_x, T_x)`` associated with ``x``.
+
+    ``S_x`` contains ``x`` and all its ancestors (plus ``extra_in_s`` and
+    their ancestors), ``T_x`` contains everything else; because ancestors
+    are closed under predecessors there can be no edge from ``T_x`` to
+    ``S_x``, so the cut is convex.  Descendants of ``x`` are guaranteed to
+    be in ``T_x``.
+    """
+    if x not in cdag:
+        raise CDAGError(f"unknown vertex {x!r}")
+    s_side: Set[Vertex] = {x} | cdag.ancestors(x)
+    for v in extra_in_s:
+        if v in cdag.descendants(x):
+            raise CDAGError(
+                f"cannot place descendant {v!r} of {x!r} on the S side"
+            )
+        s_side.add(v)
+        s_side |= cdag.ancestors(v)
+    t_side = set(cdag.vertices) - s_side
+    return s_side, t_side
+
+
+def is_convex_cut(cdag: CDAG, s_side: Iterable[Vertex], t_side: Iterable[Vertex]) -> bool:
+    """Check the convexity condition: no edge from ``T`` to ``S``."""
+    s, t = set(s_side), set(t_side)
+    for u, v in cdag.edges():
+        if u in t and v in s:
+            return False
+    return True
+
+
+def wavefront_of_cut(cdag: CDAG, s_side: Iterable[Vertex]) -> Set[Vertex]:
+    """Vertices of ``S`` with at least one outgoing edge into ``V - S``."""
+    s = set(s_side)
+    wf: Set[Vertex] = set()
+    for v in s:
+        for w in cdag.successors(v):
+            if w not in s:
+                wf.add(v)
+                break
+    return wf
+
+
+def min_wavefront(cdag: CDAG, x: Vertex) -> int:
+    """``|W^min_G(x)|``: the minimum-cardinality wavefront induced by ``x``.
+
+    This is a vertex min-cut between the (mandatory) ``S``-side —
+    ``{x} ∪ Anc(x)`` — and the (mandatory) ``T``-side — ``Desc(x)`` —
+    where the "cut vertices" are the S-side vertices with an edge into
+    the T-side.  We compute it with the standard vertex-splitting max-flow
+    construction:
+
+    * every vertex ``v`` becomes ``v_in -> v_out`` with capacity 1;
+    * every CDAG edge ``u -> v`` becomes ``u_out -> v_in`` with infinite
+      capacity;
+    * a super-source feeds ``x`` and its ancestors (they are forced onto
+      the S side), a super-sink drains the descendants of ``x`` (forced
+      onto the T side);
+    * free vertices (neither ancestor nor descendant) may fall on either
+      side, which the flow network naturally allows.
+
+    If ``x`` has no descendants the wavefront is ``{x}`` itself whenever
+    ``x`` has unfired successors — by convention we return 1 for vertices
+    with successors-free structure only if the graph is a single vertex;
+    otherwise the max-flow value is returned with a floor of 1 when
+    ``x`` has at least one successor.
+    """
+    if x not in cdag:
+        raise CDAGError(f"unknown vertex {x!r}")
+    desc = cdag.descendants(x)
+    if not desc:
+        # x is a sink: at the instant x fires the wavefront is just {x}
+        # (plus possibly other already-fired vertices, but the *minimum*
+        # over valid cuts is 1).
+        return 1
+    anc = cdag.ancestors(x)
+    forced_s = anc | {x}
+    forced_t = desc
+
+    INF = float("inf")
+    g = nx.DiGraph()
+    source, sink = ("__wf_src__",), ("__wf_snk__",)
+
+    def v_in(v: Vertex) -> Tuple[str, Vertex]:
+        return ("in", v)
+
+    def v_out(v: Vertex) -> Tuple[str, Vertex]:
+        return ("out", v)
+
+    for v in cdag.vertices:
+        # Descendants of x are forced onto the T side and can never be
+        # wavefront members, so they must not be usable as cut vertices.
+        cap = INF if v in forced_t else 1
+        g.add_edge(v_in(v), v_out(v), capacity=cap)
+    for u, v in cdag.edges():
+        g.add_edge(v_out(u), v_in(v), capacity=INF)
+    for v in forced_s:
+        g.add_edge(source, v_in(v), capacity=INF)
+    for v in forced_t:
+        g.add_edge(v_out(v), sink, capacity=INF)
+    cut_value, _ = nx.minimum_cut(g, source, sink)
+    return int(cut_value)
+
+
+def max_min_wavefront(
+    cdag: CDAG, candidates: Optional[Iterable[Vertex]] = None
+) -> Tuple[int, Optional[Vertex]]:
+    """``w^max_G = max_x |W^min_G(x)|`` and an attaining vertex.
+
+    Computing the min-cut for every vertex is O(|V|) max-flow runs; the
+    paper uses hand-picked vertices (the dot-product results in CG/GMRES)
+    for its closed-form bounds and mentions an automated heuristic.  Here
+    the caller can restrict the candidate set (e.g. to reduction vertices)
+    to keep the cost reasonable; with ``candidates=None`` all vertices are
+    tried (fine for the small CDAGs used in tests and validation benches).
+    """
+    best = 0
+    best_vertex: Optional[Vertex] = None
+    pool = list(candidates) if candidates is not None else cdag.vertices
+    for x in pool:
+        w = min_wavefront(cdag, x)
+        if w > best:
+            best = w
+            best_vertex = x
+    return best, best_vertex
+
+
+# ----------------------------------------------------------------------
+# Schedule wavefronts
+# ----------------------------------------------------------------------
+def schedule_wavefronts(
+    cdag: CDAG, schedule: Sequence[Vertex]
+) -> List[int]:
+    """Wavefront sizes of a concrete schedule.
+
+    Given a topological execution order ``schedule`` of all the vertices,
+    return, for each position ``k``, the size of the schedule wavefront
+    ``W_P(x_k)``: the number of already-fired vertices (including ``x_k``)
+    that still have an unfired successor.  This is the live-value count —
+    the minimum fast-memory footprint of that schedule at that instant.
+
+    Runs in ``O(|V| + |E|)`` using remaining-successor counters.
+    """
+    position = {v: i for i, v in enumerate(schedule)}
+    if len(position) != cdag.num_vertices():
+        raise CDAGError("schedule must contain every vertex exactly once")
+    for u, v in cdag.edges():
+        if position[u] > position[v]:
+            raise CDAGError(
+                f"schedule violates dependence {u!r} -> {v!r}"
+            )
+    remaining = {v: cdag.out_degree(v) for v in cdag.vertices}
+    live: Set[Vertex] = set()
+    sizes: List[int] = []
+    for v in schedule:
+        # v has just fired; it is live if it has any unfired successor.
+        if remaining[v] > 0:
+            live.add(v)
+        # firing v may retire some predecessors
+        for p in cdag.predecessors(v):
+            remaining[p] -= 1
+            if remaining[p] == 0:
+                live.discard(p)
+        # the wavefront at the instant v fires includes v itself
+        sizes.append(len(live | {v}))
+    return sizes
+
+
+def max_schedule_wavefront(cdag: CDAG, schedule: Sequence[Vertex]) -> int:
+    """Maximum wavefront size over a schedule (its peak live-value count)."""
+    sizes = schedule_wavefronts(cdag, schedule)
+    return max(sizes) if sizes else 0

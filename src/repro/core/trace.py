@@ -1,0 +1,275 @@
+"""Tracing executor: build CDAGs from real numerical code.
+
+The paper analyses algorithms (CG, GMRES, Jacobi) through their CDAGs.
+Rather than hand-coding every CDAG, this module provides a tiny tracing
+layer: numerical code written against :class:`TracedValue` /
+:class:`TracedArray` records every scalar operation as a CDAG vertex while
+*also* computing the numerical result.  This gives two guarantees that a
+hand-built CDAG cannot:
+
+1. the CDAG is exactly the data-flow of the executed program (every edge
+   corresponds to a real operand), and
+2. the numerical output can be checked against a NumPy reference, so the
+   traced program is known to be the real algorithm and not a sketch.
+
+The tracer intentionally models *scalar* operations — the granularity of
+the pebble-game model — so traced problem sizes are kept small (the
+solvers package provides untraced vectorised implementations for large
+runs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .cdag import CDAG, CDAGBuilder, Vertex
+
+__all__ = ["TraceContext", "TracedValue", "TracedArray"]
+
+Number = Union[int, float]
+
+
+class TraceContext:
+    """Owns the CDAG under construction and mints traced values.
+
+    Typical use::
+
+        ctx = TraceContext("dot")
+        x = ctx.input_array(np.arange(4.0), prefix="x")
+        y = ctx.input_array(np.ones(4), prefix="y")
+        s = (x * y).sum()
+        ctx.mark_output(s)
+        cdag = ctx.build()
+        assert s.value == 6.0
+    """
+
+    def __init__(self, name: str = "trace") -> None:
+        self._builder = CDAGBuilder(name=name)
+        self._num_ops = 0
+
+    # -- value creation -------------------------------------------------
+    def constant(self, value: Number, prefix: str = "const") -> "TracedValue":
+        """A constant that does not count as a CDAG input (embedded in the
+        program text, like the stencil coefficients of Section 5.1)."""
+        v = self._builder.fresh(prefix)
+        self._builder._cdag.add_vertex(v)
+        return TracedValue(self, v, float(value), is_constant=True)
+
+    def input_scalar(self, value: Number, name: Optional[Vertex] = None,
+                     prefix: str = "in") -> "TracedValue":
+        v = self._builder.add_input(name, prefix=prefix)
+        return TracedValue(self, v, float(value))
+
+    def input_array(
+        self, values: Sequence[Number], prefix: str = "in"
+    ) -> "TracedArray":
+        vals = np.asarray(values, dtype=float)
+        flat = [
+            self.input_scalar(x, name=(prefix,) + idx)
+            for idx, x in np.ndenumerate(vals)
+        ]
+        return TracedArray(np.array(flat, dtype=object).reshape(vals.shape), self)
+
+    # -- graph operations ------------------------------------------------
+    def _operation(
+        self, operands: Sequence["TracedValue"], value: float, prefix: str
+    ) -> "TracedValue":
+        vertex = self._builder.operation(
+            [o.vertex for o in operands if not o.is_constant], prefix=prefix
+        )
+        self._num_ops += 1
+        return TracedValue(self, vertex, value)
+
+    def mark_output(self, value: Union["TracedValue", "TracedArray"]) -> None:
+        if isinstance(value, TracedArray):
+            for v in value.flat():
+                self._builder.mark_output(v.vertex)
+        else:
+            self._builder.mark_output(value.vertex)
+
+    @property
+    def num_operations(self) -> int:
+        """Number of compute vertices recorded so far (the |V - I| count)."""
+        return self._num_ops
+
+    def build(self, validate: bool = True) -> CDAG:
+        return self._builder.build(validate=validate)
+
+
+class TracedValue:
+    """A scalar value that records the operations applied to it."""
+
+    __slots__ = ("ctx", "vertex", "value", "is_constant")
+
+    def __init__(
+        self,
+        ctx: TraceContext,
+        vertex: Vertex,
+        value: float,
+        is_constant: bool = False,
+    ) -> None:
+        self.ctx = ctx
+        self.vertex = vertex
+        self.value = float(value)
+        self.is_constant = is_constant
+
+    # -- helpers ----------------------------------------------------------
+    def _coerce(self, other: Union["TracedValue", Number]) -> "TracedValue":
+        if isinstance(other, TracedValue):
+            return other
+        return self.ctx.constant(other)
+
+    def _binop(self, other, value: float, prefix: str) -> "TracedValue":
+        other = self._coerce(other)
+        return self.ctx._operation([self, other], value, prefix)
+
+    # -- arithmetic --------------------------------------------------------
+    def __add__(self, other):
+        o = self._coerce(other)
+        return self._binop(o, self.value + o.value, "add")
+
+    def __radd__(self, other):
+        return self.__add__(other)
+
+    def __sub__(self, other):
+        o = self._coerce(other)
+        return self._binop(o, self.value - o.value, "sub")
+
+    def __rsub__(self, other):
+        o = self._coerce(other)
+        return o._binop(self, o.value - self.value, "sub")
+
+    def __mul__(self, other):
+        o = self._coerce(other)
+        return self._binop(o, self.value * o.value, "mul")
+
+    def __rmul__(self, other):
+        return self.__mul__(other)
+
+    def __truediv__(self, other):
+        o = self._coerce(other)
+        return self._binop(o, self.value / o.value, "div")
+
+    def __rtruediv__(self, other):
+        o = self._coerce(other)
+        return o._binop(self, o.value / self.value, "div")
+
+    def __neg__(self):
+        return self.ctx._operation([self], -self.value, "neg")
+
+    def sqrt(self) -> "TracedValue":
+        return self.ctx._operation([self], float(np.sqrt(self.value)), "sqrt")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TracedValue({self.vertex!r}, {self.value})"
+
+
+class TracedArray:
+    """A dense array of :class:`TracedValue` with NumPy-like helpers.
+
+    Only the operations the traced solvers need are provided: elementwise
+    arithmetic, dot products, axpy updates, matrix-vector products and
+    norms.  Each helper both performs the numerical computation and
+    extends the CDAG.
+    """
+
+    def __init__(self, data: np.ndarray, ctx: TraceContext) -> None:
+        self._data = data  # object ndarray of TracedValue
+        self.ctx = ctx
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._data.shape
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, idx) -> Union["TracedArray", TracedValue]:
+        out = self._data[idx]
+        if isinstance(out, np.ndarray):
+            return TracedArray(out, self.ctx)
+        return out
+
+    def __setitem__(self, idx, value) -> None:
+        self._data[idx] = value
+
+    def flat(self) -> List[TracedValue]:
+        return list(self._data.flat)
+
+    def values(self) -> np.ndarray:
+        """The numerical contents as a plain float ndarray."""
+        return np.array(
+            [v.value for v in self._data.flat], dtype=float
+        ).reshape(self.shape)
+
+    def copy(self) -> "TracedArray":
+        return TracedArray(self._data.copy(), self.ctx)
+
+    # -- elementwise --------------------------------------------------------
+    def _elementwise(self, other, op) -> "TracedArray":
+        if isinstance(other, TracedArray):
+            if other.shape != self.shape:
+                raise ValueError("shape mismatch")
+            flat = [op(a, b) for a, b in zip(self._data.flat, other._data.flat)]
+        else:
+            flat = [op(a, other) for a in self._data.flat]
+        return TracedArray(
+            np.array(flat, dtype=object).reshape(self.shape), self.ctx
+        )
+
+    def __add__(self, other):
+        return self._elementwise(other, lambda a, b: a + b)
+
+    def __sub__(self, other):
+        return self._elementwise(other, lambda a, b: a - b)
+
+    def __mul__(self, other):
+        return self._elementwise(other, lambda a, b: a * b)
+
+    def __rmul__(self, other):
+        return self.__mul__(other)
+
+    def scale(self, alpha: Union[TracedValue, Number]) -> "TracedArray":
+        return self._elementwise(alpha, lambda a, b: a * b)
+
+    def axpy(self, alpha, other: "TracedArray") -> "TracedArray":
+        """``self + alpha * other`` (the SAXPY of the CG/GMRES pseudocode)."""
+        return self + other.scale(alpha)
+
+    # -- reductions -----------------------------------------------------------
+    def sum(self) -> TracedValue:
+        flat = self.flat()
+        if not flat:
+            raise ValueError("cannot reduce an empty array")
+        acc = flat[0]
+        for v in flat[1:]:
+            acc = acc + v
+        return acc
+
+    def dot(self, other: "TracedArray") -> TracedValue:
+        return (self * other).sum()
+
+    def norm2_squared(self) -> TracedValue:
+        return self.dot(self)
+
+    def norm2(self) -> TracedValue:
+        return self.norm2_squared().sqrt()
+
+    # -- linear algebra ----------------------------------------------------------
+    def matvec(self, x: "TracedArray") -> "TracedArray":
+        """Dense matrix-vector product (self must be 2-D)."""
+        if len(self.shape) != 2:
+            raise ValueError("matvec requires a 2-D array")
+        m, n = self.shape
+        if x.shape != (n,):
+            raise ValueError("dimension mismatch in matvec")
+        rows = []
+        for i in range(m):
+            acc = self._data[i, 0] * x._data[0]
+            for j in range(1, n):
+                acc = acc + self._data[i, j] * x._data[j]
+            rows.append(acc)
+        return TracedArray(np.array(rows, dtype=object), self.ctx)

@@ -1,0 +1,28 @@
+"""Simulated distributed-memory machine: measured upper bounds on traffic.
+
+* :mod:`repro.distsim.cache` — LRU/Belady cache simulation for vertical
+  (DRAM<->cache) traffic;
+* :mod:`repro.distsim.partitioning` — block partitioning and ghost-shell
+  geometry for horizontal (inter-node) traffic;
+* :mod:`repro.distsim.cluster` — workload-level simulation (stencil
+  sweeps, CG iterations) over a cluster of cached nodes;
+* :mod:`repro.distsim.executor` — CDAG-level owner-computes execution
+  with per-node traffic accounting.
+"""
+
+from .cache import CacheSimulator, CacheStats, simulate_trace
+from .cluster import ClusterTrafficReport, SimulatedCluster
+from .executor import DistributedExecutionReport, DistributedExecutor
+from .partitioning import BlockPartition, node_grid
+
+__all__ = [
+    "CacheSimulator",
+    "CacheStats",
+    "simulate_trace",
+    "ClusterTrafficReport",
+    "SimulatedCluster",
+    "DistributedExecutionReport",
+    "DistributedExecutor",
+    "BlockPartition",
+    "node_grid",
+]

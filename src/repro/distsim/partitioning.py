@@ -1,0 +1,150 @@
+"""Block partitioning of d-dimensional grids over cluster nodes.
+
+The horizontal-cost upper bounds of Sections 5.2.2/5.3.2/5.4.2 assume the
+input grid is block partitioned: each node owns a contiguous block of
+grid points and fetches the ghost shell of its block from its neighbours
+every sweep.  This module provides the partition geometry:
+
+* :func:`node_grid` — factor the node count into a near-cubic d-dimensional
+  arrangement;
+* :class:`BlockPartition` — owner lookup, per-node blocks, ghost-shell
+  enumeration and the ghost volume ``(B + 2)^d - B^d`` the paper uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["node_grid", "BlockPartition"]
+
+
+def node_grid(num_nodes: int, dimensions: int) -> Tuple[int, ...]:
+    """Factor ``num_nodes`` into a d-dimensional processor grid.
+
+    Greedily splits the node count into factors as close to the d-th root
+    as possible (largest factors first), so e.g. 8 nodes in 3-D become
+    ``(2, 2, 2)`` and 12 nodes in 2-D become ``(4, 3)``.  The product of
+    the returned extents always equals ``num_nodes``.
+    """
+    if num_nodes < 1 or dimensions < 1:
+        raise ValueError("num_nodes and dimensions must be >= 1")
+    remaining = num_nodes
+    extents: List[int] = []
+    for k in range(dimensions, 0, -1):
+        target = round(remaining ** (1.0 / k)) or 1
+        # find a divisor of `remaining` close to target
+        best = 1
+        for cand in range(1, remaining + 1):
+            if remaining % cand == 0:
+                if abs(cand - target) < abs(best - target):
+                    best = cand
+        extents.append(best)
+        remaining //= best
+    extents[-1] *= remaining  # absorb any leftover (remaining should be 1)
+    extents.sort(reverse=True)
+    return tuple(extents)
+
+
+@dataclass(frozen=True)
+class BlockPartition:
+    """A block partitioning of a grid of ``shape`` over a ``nodes`` grid.
+
+    Node ``(p_1, ..., p_d)`` owns the slice
+    ``[lo_k(p_k), hi_k(p_k))`` along each axis ``k``, with the first
+    ``shape_k % nodes_k`` slabs one point larger to absorb remainders.
+    """
+
+    shape: Tuple[int, ...]
+    nodes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != len(self.nodes):
+            raise ValueError("shape and node grid must have equal rank")
+        if any(n < 1 for n in self.shape) or any(p < 1 for p in self.nodes):
+            raise ValueError("extents must be >= 1")
+        if any(p > n for n, p in zip(self.shape, self.nodes)):
+            raise ValueError("cannot have more node slabs than grid points")
+
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_nodes(self) -> int:
+        out = 1
+        for p in self.nodes:
+            out *= p
+        return out
+
+    def node_ids(self) -> Iterable[Tuple[int, ...]]:
+        return itertools.product(*[range(p) for p in self.nodes])
+
+    def node_index(self, node: Sequence[int]) -> int:
+        """Flatten a node multi-index to a linear rank."""
+        idx = 0
+        for k, (p, extent) in enumerate(zip(node, self.nodes)):
+            idx = idx * extent + p
+        return idx
+
+    def _bounds(self, axis: int, p: int) -> Tuple[int, int]:
+        n, parts = self.shape[axis], self.nodes[axis]
+        base, rem = divmod(n, parts)
+        lo = p * base + min(p, rem)
+        hi = lo + base + (1 if p < rem else 0)
+        return lo, hi
+
+    def block_bounds(self, node: Sequence[int]) -> List[Tuple[int, int]]:
+        """Per-axis ``[lo, hi)`` bounds of the node's block."""
+        return [self._bounds(axis, p) for axis, p in enumerate(node)]
+
+    def block_points(self, node: Sequence[int]) -> Iterable[Tuple[int, ...]]:
+        bounds = self.block_bounds(node)
+        return itertools.product(*[range(lo, hi) for lo, hi in bounds])
+
+    def block_size(self, node: Sequence[int]) -> int:
+        out = 1
+        for lo, hi in self.block_bounds(node):
+            out *= hi - lo
+        return out
+
+    def owner(self, point: Sequence[int]) -> Tuple[int, ...]:
+        """The node owning a grid point."""
+        node: List[int] = []
+        for axis, x in enumerate(point):
+            n, parts = self.shape[axis], self.nodes[axis]
+            base, rem = divmod(n, parts)
+            # Points 0 .. rem*(base+1)-1 belong to the first `rem` slabs.
+            cutoff = rem * (base + 1)
+            if x < cutoff:
+                node.append(x // (base + 1))
+            else:
+                node.append(rem + (x - cutoff) // base if base else rem)
+        return tuple(node)
+
+    def ghost_points(
+        self, node: Sequence[int], radius: int = 1
+    ) -> List[Tuple[int, ...]]:
+        """Grid points within ``radius`` of the node's block but owned by
+        other nodes (the ghost shell it must receive every sweep)."""
+        bounds = self.block_bounds(node)
+        lo = [max(0, b[0] - radius) for b in bounds]
+        hi = [min(self.shape[k], bounds[k][1] + radius) for k in range(self.ndim)]
+        inner = set(self.block_points(node))
+        out: List[Tuple[int, ...]] = []
+        for p in itertools.product(*[range(l, h) for l, h in zip(lo, hi)]):
+            if p not in inner:
+                out.append(p)
+        return out
+
+    def ghost_volume(self, node: Sequence[int], radius: int = 1) -> int:
+        """Number of ghost points — the measured counterpart of the paper's
+        ``(B + 2)^d - B^d`` (exact for interior nodes with radius 1)."""
+        return len(self.ghost_points(node, radius))
+
+    def max_ghost_volume(self, radius: int = 1) -> int:
+        """The largest ghost shell over all nodes (the bound-relevant one)."""
+        return max(self.ghost_volume(node, radius) for node in self.node_ids())

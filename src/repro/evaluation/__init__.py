@@ -1,0 +1,29 @@
+"""Evaluation harness: drivers reproducing the paper's tables and analyses."""
+
+from .experiments import (
+    experiment_balance_conditions,
+    experiment_bound_validation,
+    experiment_cg_bounds,
+    experiment_composite_example,
+    experiment_distsim_parallel,
+    experiment_gmres_bounds,
+    experiment_jacobi_bounds,
+    experiment_matmul_bounds,
+    experiment_table1_machines,
+)
+from .report import format_table, format_value, render_report
+
+__all__ = [
+    "experiment_balance_conditions",
+    "experiment_bound_validation",
+    "experiment_cg_bounds",
+    "experiment_composite_example",
+    "experiment_distsim_parallel",
+    "experiment_gmres_bounds",
+    "experiment_jacobi_bounds",
+    "experiment_matmul_bounds",
+    "experiment_table1_machines",
+    "format_table",
+    "format_value",
+    "render_report",
+]

@@ -1,0 +1,57 @@
+"""Plain-text table formatting for evaluation reports.
+
+The benchmark harness prints its reproduced tables in the same row/column
+shape as the paper; this module provides the small formatting helpers
+(fixed-width text tables, scientific rounding) used for that output so the
+benches and examples stay free of formatting noise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_value", "render_report"]
+
+
+def format_value(value, precision: int = 4) -> str:
+    """Render a cell: floats rounded, large/small floats in scientific form."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 10 ** (-precision):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 4,
+) -> str:
+    """Format a list of dict rows as a fixed-width text table."""
+    if not rows:
+        return "(empty table)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [
+        {c: format_value(r.get(c, ""), precision) for c in cols} for r in rows
+    ]
+    widths = {
+        c: max(len(c), max(len(r[c]) for r in rendered)) for c in cols
+    }
+    header = " | ".join(c.ljust(widths[c]) for c in cols)
+    sep = "-+-".join("-" * widths[c] for c in cols)
+    body = [" | ".join(r[c].ljust(widths[c]) for c in cols) for r in rendered]
+    return "\n".join([header, sep] + body)
+
+
+def render_report(title: str, rows: Sequence[Mapping[str, object]],
+                  columns: Optional[Sequence[str]] = None,
+                  notes: Optional[Iterable[str]] = None) -> str:
+    """A titled table plus optional footnotes, ready to print."""
+    parts = [f"== {title} ==", format_table(rows, columns)]
+    for note in notes or ():
+        parts.append(f"  note: {note}")
+    return "\n".join(parts)

@@ -1,0 +1,36 @@
+"""Machine models, Table 1 catalog and balance analysis (Section 5)."""
+
+from .balance import (
+    BalanceVerdict,
+    algorithm_horizontal_intensity,
+    algorithm_vertical_intensity,
+    horizontal_condition,
+    vertical_condition,
+)
+from .catalog import (
+    ALL_MACHINES,
+    COMMODITY_CLUSTER,
+    CRAY_XT5,
+    FAT_NODE,
+    IBM_BGQ,
+    PAPER_MACHINES,
+    get_machine,
+)
+from .spec import WORD_BYTES, MachineSpec
+
+__all__ = [
+    "BalanceVerdict",
+    "algorithm_horizontal_intensity",
+    "algorithm_vertical_intensity",
+    "horizontal_condition",
+    "vertical_condition",
+    "ALL_MACHINES",
+    "COMMODITY_CLUSTER",
+    "CRAY_XT5",
+    "FAT_NODE",
+    "IBM_BGQ",
+    "PAPER_MACHINES",
+    "get_machine",
+    "WORD_BYTES",
+    "MachineSpec",
+]

@@ -1,0 +1,148 @@
+"""Bandwidth-bound analysis: conditions (7)-(10) of Section 5.
+
+The paper turns lower and upper bounds on data movement into statements
+about whether an algorithm can possibly avoid being bandwidth bound on a
+given machine:
+
+* condition (7)/(9) — **necessary** condition to *not* be vertically
+  bandwidth bound: the algorithm's vertical data movement lower bound per
+  FLOP (``LB_vert * N_nodes / |V|`` for the DRAM<->cache level) must not
+  exceed the machine's vertical balance ``B_vert / (N_cores * F)``.
+  If the condition fails, the algorithm is memory-bandwidth bound at that
+  level *no matter how it is implemented*.
+* condition (8)/(10) — **necessary** condition for the algorithm to be
+  communication (horizontally) bound: the *upper* bound on required
+  horizontal data movement per FLOP must be at least the horizontal
+  balance.  If it fails, there exists an execution that is not limited by
+  the network.
+
+:func:`vertical_condition` and :func:`horizontal_condition` evaluate the
+two sides and the verdict; :class:`BalanceVerdict` carries the numbers so
+reports can print them exactly as the paper's running text does (e.g.
+CG's 0.3 words/FLOP vs 0.052 for BG/Q).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .spec import MachineSpec
+
+__all__ = [
+    "BalanceVerdict",
+    "algorithm_vertical_intensity",
+    "algorithm_horizontal_intensity",
+    "vertical_condition",
+    "horizontal_condition",
+]
+
+
+@dataclass(frozen=True)
+class BalanceVerdict:
+    """Outcome of comparing an algorithm's data movement against a machine.
+
+    Attributes
+    ----------
+    algorithm_side:
+        The algorithm's required words/FLOP (left-hand side of the
+        condition).
+    machine_side:
+        The machine balance in words/FLOP (right-hand side).
+    bound:
+        For vertical verdicts: True means the algorithm is *provably
+        bandwidth bound* at this level (condition (7) violated).  For
+        horizontal verdicts: True means the algorithm *may* be network
+        bound (condition (8) satisfied); False means it definitely has a
+        non-network-bound execution.
+    kind:
+        ``"vertical"`` or ``"horizontal"``.
+    machine:
+        Name of the machine used.
+    """
+
+    algorithm_side: float
+    machine_side: float
+    bound: bool
+    kind: str
+    machine: str
+
+    @property
+    def ratio(self) -> float:
+        """algorithm_side / machine_side — how far from balance (>1 means
+        the requirement exceeds what the machine provides)."""
+        return self.algorithm_side / self.machine_side if self.machine_side else float("inf")
+
+
+def algorithm_vertical_intensity(
+    lb_vertical_per_node: float, num_nodes: int, total_flops: float
+) -> float:
+    """Left-hand side of condition (9): ``LB_vert * N_nodes / |V|``.
+
+    ``lb_vertical_per_node`` is the lower bound on words moved between the
+    node's main memory and its cache for the sub-CDAG executed by one
+    (maximally loaded) node; ``total_flops`` is ``|V|``, the total
+    operation count of the CDAG.
+    """
+    if num_nodes < 1 or total_flops <= 0 or lb_vertical_per_node < 0:
+        raise ValueError("invalid intensity parameters")
+    return lb_vertical_per_node * num_nodes / total_flops
+
+
+def algorithm_horizontal_intensity(
+    ub_horizontal_per_node: float, num_nodes: int, total_flops: float
+) -> float:
+    """Left-hand side of condition (10): ``UB_horiz * N_nodes / |V|``."""
+    if num_nodes < 1 or total_flops <= 0 or ub_horizontal_per_node < 0:
+        raise ValueError("invalid intensity parameters")
+    return ub_horizontal_per_node * num_nodes / total_flops
+
+
+def vertical_condition(
+    machine: MachineSpec,
+    lb_vertical_per_node: float,
+    total_flops: float,
+    num_nodes: Optional[int] = None,
+) -> BalanceVerdict:
+    """Evaluate condition (9) for a machine.
+
+    Returns a verdict whose ``bound`` is True when the algorithm's
+    required vertical traffic per FLOP exceeds the machine's vertical
+    balance — i.e. the algorithm is unavoidably memory-bandwidth bound at
+    the DRAM<->cache level on this machine.
+    """
+    nodes = machine.num_nodes if num_nodes is None else num_nodes
+    lhs = algorithm_vertical_intensity(lb_vertical_per_node, nodes, total_flops)
+    rhs = machine.effective_vertical_balance()
+    return BalanceVerdict(
+        algorithm_side=lhs,
+        machine_side=rhs,
+        bound=lhs > rhs,
+        kind="vertical",
+        machine=machine.name,
+    )
+
+
+def horizontal_condition(
+    machine: MachineSpec,
+    ub_horizontal_per_node: float,
+    total_flops: float,
+    num_nodes: Optional[int] = None,
+) -> BalanceVerdict:
+    """Evaluate condition (10) for a machine.
+
+    ``bound`` is True when the horizontal requirement (per FLOP) is at
+    least the machine's horizontal balance, i.e. the algorithm *could* be
+    network bound; False certifies the existence of an execution order not
+    constrained by the interconnect bandwidth.
+    """
+    nodes = machine.num_nodes if num_nodes is None else num_nodes
+    lhs = algorithm_horizontal_intensity(ub_horizontal_per_node, nodes, total_flops)
+    rhs = machine.effective_horizontal_balance()
+    return BalanceVerdict(
+        algorithm_side=lhs,
+        machine_side=rhs,
+        bound=lhs >= rhs,
+        kind="horizontal",
+        machine=machine.name,
+    )

@@ -1,0 +1,159 @@
+"""Machine specifications and balance parameters (Section 5, Table 1).
+
+A processor's *machine balance* is the ratio of peak memory bandwidth to
+peak floating-point performance, expressed in words per FLOP.  The paper
+distinguishes:
+
+* the **vertical balance** at a level ``l``: the bandwidth between a
+  level-``l`` storage instance and its children, divided by the aggregate
+  peak FLOP rate of the processors sharing it
+  (``B^i_l / (|P^i_l| * F)`` — the right-hand side of condition (7));
+* the **horizontal balance**: the per-node interconnect bandwidth divided
+  by the node's aggregate FLOP rate.
+
+:class:`MachineSpec` stores the published machine parameters and computes
+the balance values; the two systems of Table 1 are provided in
+:mod:`repro.machine.catalog` with the paper's published balance numbers
+attached so the reproduction can compare against exactly the constants
+the paper used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["MachineSpec", "WORD_BYTES"]
+
+#: The paper works in 8-byte words (double precision).
+WORD_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A multi-node, multi-core machine for balance analysis.
+
+    Attributes
+    ----------
+    name:
+        Human-readable machine name.
+    num_nodes:
+        ``N_nodes`` — number of nodes in the system.
+    cores_per_node:
+        ``N_cores`` — cores per node (all sharing the node's L2/L3 cache
+        and main memory, the simplifying assumption of Section 5).
+    memory_per_node_bytes:
+        Main-memory capacity per node.
+    cache_per_node_bytes:
+        Last-level (L2/L3) cache capacity per node.
+    peak_flops_per_core:
+        Peak double-precision FLOP/s per core.
+    dram_bandwidth_bytes:
+        Aggregate DRAM <-> cache bandwidth per node (bytes/s) — the
+        *vertical* bandwidth ``B_vert``.
+    network_bandwidth_bytes:
+        Injection bandwidth per node into the interconnect (bytes/s) —
+        the *horizontal* bandwidth ``B_horiz``.
+    l1_bandwidth_bytes:
+        Optional cache <-> L1/register bandwidth per node, used for the
+        L2<->L1 threshold analysis of Section 5.4.3.
+    published_vertical_balance / published_horizontal_balance:
+        The words/FLOP values printed in Table 1, kept verbatim so the
+        reproduction can report both "derived from raw specs" and
+        "as published" numbers.
+    """
+
+    name: str
+    num_nodes: int
+    cores_per_node: int
+    memory_per_node_bytes: float
+    cache_per_node_bytes: float
+    peak_flops_per_core: float
+    dram_bandwidth_bytes: float
+    network_bandwidth_bytes: float
+    l1_bandwidth_bytes: Optional[float] = None
+    published_vertical_balance: Optional[float] = None
+    published_horizontal_balance: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1 or self.cores_per_node < 1:
+            raise ValueError("node and core counts must be >= 1")
+        for attr in (
+            "memory_per_node_bytes",
+            "cache_per_node_bytes",
+            "peak_flops_per_core",
+            "dram_bandwidth_bytes",
+            "network_bandwidth_bytes",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+
+    # -- capacities in words ------------------------------------------------
+    @property
+    def total_cores(self) -> int:
+        """``P`` — total processor (core) count."""
+        return self.num_nodes * self.cores_per_node
+
+    @property
+    def cache_words(self) -> float:
+        """Last-level cache capacity per node, in words (``S_2`` in 5.4.3)."""
+        return self.cache_per_node_bytes / WORD_BYTES
+
+    @property
+    def memory_words(self) -> float:
+        """Main-memory capacity per node, in words."""
+        return self.memory_per_node_bytes / WORD_BYTES
+
+    # -- peak rates -----------------------------------------------------------
+    @property
+    def peak_flops_per_node(self) -> float:
+        """``N_cores * F``: aggregate peak FLOP/s of one node."""
+        return self.cores_per_node * self.peak_flops_per_core
+
+    @property
+    def peak_flops_total(self) -> float:
+        return self.num_nodes * self.peak_flops_per_node
+
+    # -- balances (words / FLOP) ------------------------------------------------
+    @property
+    def vertical_balance(self) -> float:
+        """``B_vert / (N_cores * F)`` in words/FLOP (right side of Eq. 9)."""
+        return (self.dram_bandwidth_bytes / WORD_BYTES) / self.peak_flops_per_node
+
+    @property
+    def horizontal_balance(self) -> float:
+        """``B_horiz / (N_cores * F)`` in words/FLOP (right side of Eq. 10)."""
+        return (self.network_bandwidth_bytes / WORD_BYTES) / self.peak_flops_per_node
+
+    @property
+    def l1_balance(self) -> Optional[float]:
+        """Cache<->L1 balance in words/FLOP, when the bandwidth is known."""
+        if self.l1_bandwidth_bytes is None:
+            return None
+        return (self.l1_bandwidth_bytes / WORD_BYTES) / self.peak_flops_per_node
+
+    def effective_vertical_balance(self) -> float:
+        """The vertical balance to compare bounds against: the published
+        Table 1 value when available, otherwise the derived one."""
+        if self.published_vertical_balance is not None:
+            return self.published_vertical_balance
+        return self.vertical_balance
+
+    def effective_horizontal_balance(self) -> float:
+        """The horizontal balance to compare bounds against (published value
+        preferred, derived otherwise)."""
+        if self.published_horizontal_balance is not None:
+            return self.published_horizontal_balance
+        return self.horizontal_balance
+
+    # -- reporting ----------------------------------------------------------------
+    def as_table_row(self) -> Dict[str, object]:
+        """The Table 1 row for this machine."""
+        return {
+            "machine": self.name,
+            "nodes": self.num_nodes,
+            "memory_GB": self.memory_per_node_bytes / 2 ** 30,
+            "cache_MB": self.cache_per_node_bytes / 2 ** 20,
+            "vertical_balance": round(self.effective_vertical_balance(), 4),
+            "horizontal_balance": round(self.effective_horizontal_balance(), 4),
+        }

@@ -1,0 +1,45 @@
+"""Pebble-game engines and strategies.
+
+* :class:`RedBluePebbleGame` — the Hong-Kung red-blue game (Definition 2).
+* :class:`RBWPebbleGame` — the Red-Blue-White game (Definition 4), the
+  paper's sequential model: no recomputation, flexible input/output tags.
+* :class:`ParallelRBWPebbleGame` — the P-RBW game (Definition 6) over a
+  :class:`MemoryHierarchy` (Figure 1), distinguishing vertical and
+  horizontal data movement.
+* Strategies (:mod:`repro.pebbling.strategies`) produce complete games —
+  upper bounds on I/O — from schedules and owner-computes assignments.
+* :func:`optimal_rbw_io` finds the exact optimum on tiny CDAGs by
+  uniform-cost search, used to validate the bounds.
+"""
+
+from .hierarchy import LevelSpec, MemoryHierarchy
+from .optimal import OptimalSearchResult, SearchBudgetExceeded, optimal_rbw_io
+from .parallel import ParallelRBWPebbleGame
+from .rbw import RBWPebbleGame
+from .redblue import RedBluePebbleGame
+from .state import GameError, GameRecord, Move, MoveKind
+from .strategies import (
+    contiguous_block_assignment,
+    parallel_spill_game,
+    spill_game_rbw,
+    spill_game_redblue,
+)
+
+__all__ = [
+    "LevelSpec",
+    "MemoryHierarchy",
+    "OptimalSearchResult",
+    "SearchBudgetExceeded",
+    "optimal_rbw_io",
+    "ParallelRBWPebbleGame",
+    "RBWPebbleGame",
+    "RedBluePebbleGame",
+    "GameError",
+    "GameRecord",
+    "Move",
+    "MoveKind",
+    "contiguous_block_assignment",
+    "parallel_spill_game",
+    "spill_game_rbw",
+    "spill_game_redblue",
+]

@@ -1,0 +1,209 @@
+"""Memory-hierarchy description for the parallel RBW pebble game.
+
+The P-RBW game (Definition 6, Figure 1) models a distributed-memory
+machine as a tree of storage instances:
+
+* level ``L`` (the top): ``N_L`` main memories (one per node), connected
+  to each other through the interconnection network;
+* levels ``1 < l < L``: ``N_l`` caches of capacity ``S_l`` words each;
+* level ``1`` (the bottom): ``P`` register files of capacity ``S_1``,
+  one per processor;
+* every level-``l`` instance has a unique *parent* instance at level
+  ``l+1``; the ``P_l = P / N_l`` processors below a level-``l`` instance
+  share its bandwidth.
+
+:class:`MemoryHierarchy` captures the ``(N_l, S_l)`` ladder, provides the
+parent/children maps the game engine needs, and offers convenience
+constructors for the two configurations used throughout the tests and
+benchmarks (a single multi-core node and a multi-node cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["LevelSpec", "MemoryHierarchy"]
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """One level of the hierarchy: ``count`` instances of ``capacity`` words.
+
+    ``capacity=None`` means unbounded (used for the level-L main memories,
+    whose size the pebble game does not constrain — blue pebbles are
+    unlimited; what is bounded is the *red* pebble count at the levels
+    below, and level-L red pebbles when modelling a bounded aggregate
+    memory).
+    """
+
+    count: int
+    capacity: Optional[int]
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("level must have at least one instance")
+        if self.capacity is not None and self.capacity < 1:
+            raise ValueError("capacity must be positive or None")
+
+
+class MemoryHierarchy:
+    """A tree of storage instances for the P-RBW game.
+
+    Parameters
+    ----------
+    levels:
+        ``levels[0]`` is level 1 (registers, one instance per processor),
+        ``levels[-1]`` is level L (node main memories).  Counts must be
+        non-increasing with the level and each count must divide the count
+        of the level below, so that the "unique parent" condition of the
+        model holds with a regular fan-out.
+    """
+
+    def __init__(self, levels: Sequence[LevelSpec]) -> None:
+        if not levels:
+            raise ValueError("hierarchy needs at least one level")
+        self.levels: List[LevelSpec] = list(levels)
+        for lower, upper in zip(self.levels, self.levels[1:]):
+            if upper.count > lower.count:
+                raise ValueError(
+                    "instance counts must be non-increasing with level "
+                    f"(got {lower.count} below {upper.count})"
+                )
+            if lower.count % upper.count != 0:
+                raise ValueError(
+                    "each level's instance count must divide the level "
+                    f"below it ({lower.count} % {upper.count} != 0)"
+                )
+
+    # ------------------------------------------------------------------
+    # Shape queries (levels are 1-based to match the paper)
+    # ------------------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        """``L``, the number of levels."""
+        return len(self.levels)
+
+    @property
+    def num_processors(self) -> int:
+        """``P``: one processor per level-1 instance."""
+        return self.levels[0].count
+
+    @property
+    def num_nodes(self) -> int:
+        """``N_L``: the number of level-L main memories (cluster nodes)."""
+        return self.levels[-1].count
+
+    def instances(self, level: int) -> int:
+        """``N_l`` for 1-based ``level``."""
+        self._check_level(level)
+        return self.levels[level - 1].count
+
+    def capacity(self, level: int) -> Optional[int]:
+        """``S_l`` for 1-based ``level`` (None = unbounded)."""
+        self._check_level(level)
+        return self.levels[level - 1].capacity
+
+    def processors_per_instance(self, level: int) -> int:
+        """``P_l = P / N_l``: processors sharing one level-``l`` instance."""
+        return self.num_processors // self.instances(level)
+
+    def aggregate_capacity(self, level: int) -> Optional[int]:
+        """``N_l * S_l``: total words available at a level."""
+        cap = self.capacity(level)
+        return None if cap is None else cap * self.instances(level)
+
+    def _check_level(self, level: int) -> None:
+        if not 1 <= level <= self.num_levels:
+            raise ValueError(
+                f"level must be in 1..{self.num_levels}, got {level}"
+            )
+
+    # ------------------------------------------------------------------
+    # Tree structure
+    # ------------------------------------------------------------------
+    def parent_instance(self, level: int, index: int) -> Tuple[int, int]:
+        """The (level+1, index) instance that is the parent of
+        (level, index)."""
+        self._check_level(level)
+        if level == self.num_levels:
+            raise ValueError("the top level has no parent")
+        if not 0 <= index < self.instances(level):
+            raise ValueError("instance index out of range")
+        fan = self.instances(level) // self.instances(level + 1)
+        return (level + 1, index // fan)
+
+    def child_instances(self, level: int, index: int) -> List[Tuple[int, int]]:
+        """The (level-1, index) instances whose parent is (level, index)."""
+        self._check_level(level)
+        if level == 1:
+            return []
+        fan = self.instances(level - 1) // self.instances(level)
+        return [(level - 1, index * fan + k) for k in range(fan)]
+
+    def instance_of_processor(self, level: int, processor: int) -> Tuple[int, int]:
+        """The level-``level`` instance that serves ``processor``.
+
+        Processor ``p`` owns register file ``(1, p)``; walking parents
+        gives the cache/memory instances it uses at each level.
+        """
+        if not 0 <= processor < self.num_processors:
+            raise ValueError("processor index out of range")
+        self._check_level(level)
+        fan = self.num_processors // self.instances(level)
+        return (level, processor // fan)
+
+    def processors_of_instance(self, level: int, index: int) -> List[int]:
+        """The processors that share the (level, index) storage instance."""
+        self._check_level(level)
+        fan = self.num_processors // self.instances(level)
+        return list(range(index * fan, (index + 1) * fan))
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def two_level(cls, num_red: int) -> "MemoryHierarchy":
+        """The sequential Hong-Kung setting: 1 processor, ``num_red``
+        registers, one unbounded main memory."""
+        return cls([LevelSpec(1, num_red), LevelSpec(1, None)])
+
+    @classmethod
+    def shared_memory_node(
+        cls, cores: int, registers_per_core: int, cache_size: int
+    ) -> "MemoryHierarchy":
+        """One node: ``cores`` processors with private registers, a single
+        shared cache, and the node's unbounded main memory."""
+        return cls(
+            [
+                LevelSpec(cores, registers_per_core),
+                LevelSpec(1, cache_size),
+                LevelSpec(1, None),
+            ]
+        )
+
+    @classmethod
+    def cluster(
+        cls,
+        nodes: int,
+        cores_per_node: int,
+        registers_per_core: int,
+        cache_size: int,
+        memory_size: Optional[int] = None,
+    ) -> "MemoryHierarchy":
+        """A multi-node cluster: per-core registers, one shared cache per
+        node, one main memory per node (level L), network between nodes."""
+        return cls(
+            [
+                LevelSpec(nodes * cores_per_node, registers_per_core),
+                LevelSpec(nodes, cache_size),
+                LevelSpec(nodes, memory_size),
+            ]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"L{l+1}: {spec.count}x{spec.capacity if spec.capacity is not None else 'inf'}"
+            for l, spec in enumerate(self.levels)
+        )
+        return f"MemoryHierarchy({parts})"

@@ -1,0 +1,268 @@
+"""The parallel Red-Blue-White (P-RBW) pebble game (Definition 6).
+
+The P-RBW game plays on a :class:`~repro.pebbling.hierarchy.MemoryHierarchy`
+with ``L`` levels.  Each level-``l`` storage instance ``i`` owns its own
+*shade* of red pebble ``R^i_l``; at most ``S_l`` of them may be in use at
+a time.  Blue and white pebbles are unlimited.  The rules:
+
+* **R1 (Input)** — a level-L pebble may be placed on any vertex holding a
+  blue pebble (plus a white pebble if absent).
+* **R2 (Output)** — a blue pebble may be placed on any vertex holding a
+  level-L pebble.
+* **R3 (Remote get)** — a level-L pebble ``R^i_L`` may be placed on any
+  vertex holding a *different* level-L shade ``R^j_L`` (horizontal data
+  movement across the interconnect).
+* **R4 (Move up)** — for ``1 <= l < L``, a level-l pebble ``R^i_l`` may be
+  placed on a vertex holding a level-(l+1) pebble ``R^j_{l+1}``, provided
+  instance ``i`` is a child of instance ``j`` (data moves *toward* the
+  processor).
+* **R5 (Move down)** — for ``1 < l <= L``, a level-l pebble ``R^j_l`` may
+  be placed on a vertex holding a level-(l-1) pebble ``R^i_{l-1}`` of a
+  child instance (data moves *away from* the processor, e.g. a writeback).
+* **R6 (Compute)** — a vertex with no white pebble, all of whose
+  predecessors hold level-1 pebbles of processor ``p``'s register file,
+  may be fired: a level-1 pebble ``R^p_1`` and a white pebble are placed.
+* **R7 (Delete)** — any red pebble of any shade may be removed.
+
+Cost accounting
+---------------
+* ``vertical_io[(l, i)]`` counts the words crossing the link between
+  storage instance ``(l, i)`` and its children: R4 moves whose *source*
+  is ``(l, i)`` plus R5 moves whose *target* is ``(l, i)``.  This is the
+  quantity ``IO^i_l`` of Section 5 that Theorems 5 and 6 bound from below.
+* ``horizontal_io[i]`` counts R3 remote gets *received by* node ``i``
+  (the quantity bounded by Theorem 7), plus R1 loads from blue storage.
+* ``compute_per_processor[p]`` counts R6 firings by processor ``p``,
+  needed to identify the maximally loaded processor group.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.cdag import CDAG, Vertex
+from .hierarchy import MemoryHierarchy
+from .state import GameError, GameRecord, Move, MoveKind
+
+__all__ = ["ParallelRBWPebbleGame"]
+
+Instance = Tuple[int, int]  # (level, index)
+
+
+class ParallelRBWPebbleGame:
+    """Stateful engine for the parallel RBW pebble game."""
+
+    def __init__(self, cdag: CDAG, hierarchy: MemoryHierarchy) -> None:
+        cdag.validate()
+        self.cdag = cdag
+        self.hierarchy = hierarchy
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        #: vertex -> set of (level, index) shades currently on it
+        self.pebbles: Dict[Vertex, Set[Instance]] = {}
+        #: (level, index) -> set of vertices currently holding that shade
+        self.occupancy: Dict[Instance, Set[Vertex]] = {}
+        self.blue: Set[Vertex] = set(self.cdag.inputs)
+        self.white: Set[Vertex] = set()
+        self.record = GameRecord()
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _shades_on(self, v: Vertex) -> Set[Instance]:
+        return self.pebbles.get(v, set())
+
+    def _has_level(self, v: Vertex, level: int) -> bool:
+        return any(lvl == level for (lvl, _i) in self._shades_on(v))
+
+    def _place(self, v: Vertex, inst: Instance) -> None:
+        level, index = inst
+        self.hierarchy._check_level(level)
+        if not 0 <= index < self.hierarchy.instances(level):
+            raise GameError(f"no instance {index} at level {level}")
+        if inst in self._shades_on(v):
+            raise GameError(
+                f"vertex {v!r} already holds a pebble of shade {inst}"
+            )
+        cap = self.hierarchy.capacity(level)
+        used = self.occupancy.setdefault(inst, set())
+        if cap is not None and len(used) >= cap:
+            raise GameError(
+                f"storage {inst} is full (capacity {cap}); delete first"
+            )
+        used.add(v)
+        self.pebbles.setdefault(v, set()).add(inst)
+
+    def _white(self, v: Vertex) -> None:
+        self.white.add(v)
+
+    # ------------------------------------------------------------------
+    # Moves
+    # ------------------------------------------------------------------
+    def load(self, v: Vertex, node: int) -> None:
+        """R1: place the level-L pebble of node ``node`` on a blue vertex."""
+        if v not in self.blue:
+            raise GameError(f"R1 violated: {v!r} has no blue pebble")
+        L = self.hierarchy.num_levels
+        inst = (L, node)
+        self._place(v, inst)
+        self._white(v)
+        self.record.append(Move(MoveKind.LOAD, v, location=inst))
+        self.record.horizontal_io[node] = (
+            self.record.horizontal_io.get(node, 0) + 1
+        )
+
+    def store(self, v: Vertex, node: int) -> None:
+        """R2: place a blue pebble on a vertex holding node ``node``'s
+        level-L pebble."""
+        L = self.hierarchy.num_levels
+        inst = (L, node)
+        if inst not in self._shades_on(v):
+            raise GameError(
+                f"R2 violated: {v!r} does not hold the level-{L} pebble of "
+                f"node {node}"
+            )
+        self.blue.add(v)
+        self.record.append(Move(MoveKind.STORE, v, location=inst))
+
+    def remote_get(self, v: Vertex, dst_node: int, src_node: int) -> None:
+        """R3: copy a value between two level-L memories (horizontal)."""
+        if dst_node == src_node:
+            raise GameError("R3 violated: source and destination coincide")
+        L = self.hierarchy.num_levels
+        src = (L, src_node)
+        dst = (L, dst_node)
+        if src not in self._shades_on(v):
+            raise GameError(
+                f"R3 violated: {v!r} does not hold the level-{L} pebble of "
+                f"node {src_node}"
+            )
+        self._place(v, dst)
+        self.record.append(Move(MoveKind.REMOTE_GET, v, location=dst, source=src))
+        self.record.horizontal_io[dst_node] = (
+            self.record.horizontal_io.get(dst_node, 0) + 1
+        )
+
+    def move_up(self, v: Vertex, level: int, index: int) -> None:
+        """R4: copy from the parent instance into child ``(level, index)``.
+
+        ``level`` must satisfy ``1 <= level < L`` and the vertex must hold
+        the pebble of the parent of ``(level, index)``.
+        """
+        L = self.hierarchy.num_levels
+        if not 1 <= level < L:
+            raise GameError(f"R4 violated: level must be in 1..{L-1}")
+        parent = self.hierarchy.parent_instance(level, index)
+        if parent not in self._shades_on(v):
+            raise GameError(
+                f"R4 violated: {v!r} does not hold the pebble of parent "
+                f"{parent} of ({level}, {index})"
+            )
+        self._place(v, (level, index))
+        self.record.append(
+            Move(MoveKind.MOVE_UP, v, location=(level, index), source=parent)
+        )
+        # Traffic crosses the link between `parent` and its children.
+        self.record.vertical_io[parent] = (
+            self.record.vertical_io.get(parent, 0) + 1
+        )
+
+    def move_down(self, v: Vertex, level: int, index: int) -> None:
+        """R5: copy from a child instance into its parent ``(level, index)``.
+
+        ``level`` must satisfy ``1 < level <= L`` and the vertex must hold
+        the pebble of one of the children of ``(level, index)``.
+        """
+        L = self.hierarchy.num_levels
+        if not 1 < level <= L:
+            raise GameError(f"R5 violated: level must be in 2..{L}")
+        children = self.hierarchy.child_instances(level, index)
+        holders = [c for c in children if c in self._shades_on(v)]
+        if not holders:
+            raise GameError(
+                f"R5 violated: {v!r} holds no pebble of a child of "
+                f"({level}, {index})"
+            )
+        self._place(v, (level, index))
+        self.record.append(
+            Move(
+                MoveKind.MOVE_DOWN,
+                v,
+                location=(level, index),
+                source=holders[0],
+            )
+        )
+        self.record.vertical_io[(level, index)] = (
+            self.record.vertical_io.get((level, index), 0) + 1
+        )
+
+    def compute(self, v: Vertex, processor: int) -> None:
+        """R6: fire ``v`` on ``processor``; predecessors must hold that
+        processor's level-1 pebbles."""
+        if v in self.white:
+            raise GameError(
+                f"R6 violated: {v!r} already has a white pebble "
+                "(recomputation is prohibited)"
+            )
+        if self.cdag.is_input(v):
+            raise GameError(
+                f"R6 violated: input vertex {v!r} must be loaded, not computed"
+            )
+        if not 0 <= processor < self.hierarchy.num_processors:
+            raise GameError(f"unknown processor {processor}")
+        reg = (1, processor)
+        missing = [
+            p
+            for p in self.cdag.predecessors(v)
+            if reg not in self._shades_on(p)
+        ]
+        if missing:
+            raise GameError(
+                f"R6 violated: predecessors of {v!r} without level-1 pebbles "
+                f"of processor {processor}: {missing[:3]}"
+            )
+        self._place(v, reg)
+        self._white(v)
+        self.record.append(Move(MoveKind.COMPUTE, v, location=reg))
+        self.record.compute_per_processor[processor] = (
+            self.record.compute_per_processor.get(processor, 0) + 1
+        )
+
+    def delete(self, v: Vertex, level: int, index: int) -> None:
+        """R7: remove the ``(level, index)`` pebble from ``v``."""
+        inst = (level, index)
+        if inst not in self._shades_on(v):
+            raise GameError(
+                f"R7 violated: {v!r} holds no pebble of shade {inst}"
+            )
+        self.pebbles[v].remove(inst)
+        self.occupancy[inst].discard(v)
+        self.record.append(Move(MoveKind.DELETE, v, location=inst))
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def is_complete(self) -> bool:
+        for v in self.cdag.vertices:
+            if self.cdag.is_input(v):
+                continue
+            if v not in self.white:
+                return False
+        return all(v in self.blue for v in self.cdag.outputs)
+
+    def assert_complete(self) -> None:
+        if not self.is_complete():
+            unfired = [
+                v
+                for v in self.cdag.vertices
+                if v not in self.white and not self.cdag.is_input(v)
+            ]
+            missing_out = [v for v in self.cdag.outputs if v not in self.blue]
+            raise GameError(
+                "parallel game incomplete: "
+                f"{len(unfired)} unfired operations (e.g. {unfired[:3]}), "
+                f"{len(missing_out)} outputs without blue pebbles "
+                f"(e.g. {missing_out[:3]})"
+            )

@@ -1,0 +1,175 @@
+"""The Red-Blue-White (RBW) pebble game (Definition 4).
+
+The RBW game differs from Hong & Kung's red-blue game in two ways that
+make lower bounds *composable* across sub-CDAGs (Section 3):
+
+1. **Flexible input/output tagging.**  Source vertices need not be inputs
+   (they get no initial blue pebble but may fire at any time via R3 since
+   they have no predecessors), and sink vertices need not be outputs.
+2. **No recomputation.**  A *white* pebble is placed on a vertex when it
+   first receives a value (by load R1 or compute R3) and never removed;
+   rule R3 refuses to fire a vertex that already has a white pebble.  If a
+   value is evicted (R4) after its white pebble is placed, the only way to
+   get it back into fast memory is R1 — which requires a blue pebble,
+   i.e. the value must have been stored (R2) first.  This is what forces
+   "spills" to be visible as I/O.
+
+A complete game ends with white pebbles on **all** vertices (everything
+has been evaluated or loaded) and blue pebbles on all output vertices.
+
+The engine tracks, in addition to the pebble sets, whether a stored copy
+exists for each white-pebbled value, so that illegal "resurrection" of an
+evicted-but-never-stored value is caught immediately rather than at the
+end of the game.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..core.cdag import CDAG, Vertex
+from .state import GameError, GameRecord, Move, MoveKind
+
+__all__ = ["RBWPebbleGame"]
+
+
+class RBWPebbleGame:
+    """Stateful engine for the Red-Blue-White pebble game.
+
+    Parameters
+    ----------
+    cdag:
+        The CDAG to pebble; tags are taken as given (flexible labelling).
+    num_red:
+        The number of red pebbles ``S``.
+    """
+
+    def __init__(self, cdag: CDAG, num_red: int) -> None:
+        if num_red < 1:
+            raise ValueError("the game needs at least one red pebble")
+        cdag.validate()
+        self.cdag = cdag
+        self.num_red = num_red
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self.red: Set[Vertex] = set()
+        self.blue: Set[Vertex] = set(self.cdag.inputs)
+        self.white: Set[Vertex] = set()
+        self.record = GameRecord()
+
+    # ------------------------------------------------------------------
+    # Moves
+    # ------------------------------------------------------------------
+    def load(self, v: Vertex) -> None:
+        """R1: red pebble on a blue-pebbled vertex; also places a white
+        pebble if not already present."""
+        if v not in self.blue:
+            raise GameError(f"R1 violated: {v!r} has no blue pebble")
+        if v in self.red:
+            raise GameError(f"R1 wasted: {v!r} already has a red pebble")
+        self._acquire_red(v)
+        self.white.add(v)
+        self.record.append(Move(MoveKind.LOAD, v))
+
+    def store(self, v: Vertex) -> None:
+        """R2: blue pebble on a red-pebbled vertex."""
+        if v not in self.red:
+            raise GameError(f"R2 violated: {v!r} has no red pebble")
+        self.blue.add(v)
+        self.record.append(Move(MoveKind.STORE, v))
+
+    def compute(self, v: Vertex) -> None:
+        """R3: fire ``v`` if it has no white pebble and all predecessors
+        hold red pebbles.  Places a red and a white pebble on ``v``."""
+        if v in self.white:
+            raise GameError(
+                f"R3 violated: {v!r} already has a white pebble "
+                "(recomputation is prohibited in the RBW game)"
+            )
+        if self.cdag.is_input(v):
+            raise GameError(
+                f"R3 violated: input vertex {v!r} must be loaded, not computed"
+            )
+        missing = [p for p in self.cdag.predecessors(v) if p not in self.red]
+        if missing:
+            raise GameError(
+                f"R3 violated: predecessors of {v!r} without red pebbles: "
+                f"{missing[:3]}"
+            )
+        self._acquire_red(v)
+        self.white.add(v)
+        self.record.append(Move(MoveKind.COMPUTE, v))
+
+    def delete(self, v: Vertex) -> None:
+        """R4: remove a red pebble."""
+        if v not in self.red:
+            raise GameError(f"R4 violated: {v!r} has no red pebble")
+        self.red.remove(v)
+        self.record.append(Move(MoveKind.DELETE, v))
+
+    def _acquire_red(self, v: Vertex) -> None:
+        if len(self.red) >= self.num_red:
+            raise GameError(
+                f"out of red pebbles (S={self.num_red}); delete one first"
+            )
+        self.red.add(v)
+        self.record.peak_red = max(self.record.peak_red, len(self.red))
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def is_complete(self) -> bool:
+        """Complete = white pebbles everywhere + blue pebbles on outputs.
+
+        Input vertices satisfy the white-pebble requirement implicitly if
+        they were never needed (they hold their value in slow memory); we
+        follow the convention that an input vertex only requires a white
+        pebble if it has at least one successor that fired — which any
+        complete game guarantees via R3's predecessor condition — so the
+        check below requires white pebbles on all *operation* vertices
+        plus any input that has successors.
+        """
+        for v in self.cdag.vertices:
+            if self.cdag.is_input(v):
+                if self.cdag.out_degree(v) > 0 and v not in self.white:
+                    return False
+            elif v not in self.white:
+                return False
+        return all(v in self.blue for v in self.cdag.outputs)
+
+    def assert_complete(self) -> None:
+        if not self.is_complete():
+            unfired = [
+                v
+                for v in self.cdag.vertices
+                if v not in self.white and not self.cdag.is_input(v)
+            ]
+            missing_out = [v for v in self.cdag.outputs if v not in self.blue]
+            raise GameError(
+                "game incomplete: "
+                f"{len(unfired)} unfired operations (e.g. {unfired[:3]}), "
+                f"{len(missing_out)} outputs without blue pebbles "
+                f"(e.g. {missing_out[:3]})"
+            )
+
+    # ------------------------------------------------------------------
+    def replay(self, moves: Iterable[Move]) -> GameRecord:
+        """Validate and replay a full move sequence from the initial state."""
+        self.reset()
+        dispatch = {
+            MoveKind.LOAD: self.load,
+            MoveKind.STORE: self.store,
+            MoveKind.COMPUTE: self.compute,
+            MoveKind.DELETE: self.delete,
+        }
+        for move in moves:
+            handler = dispatch.get(move.kind)
+            if handler is None:
+                raise GameError(
+                    f"move kind {move.kind} is not part of the RBW game"
+                )
+            handler(move.vertex)
+        self.assert_complete()
+        return self.record

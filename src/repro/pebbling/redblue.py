@@ -1,0 +1,147 @@
+"""The Hong-Kung red-blue pebble game (Definition 2).
+
+The game models a two-level memory: ``S`` *red* pebbles stand for the
+small fast memory (registers / cache), an unlimited supply of *blue*
+pebbles stands for slow main memory.  A complete game starts with blue
+pebbles on every input vertex and must end with blue pebbles on every
+output vertex, using the rules
+
+* R1 (Input): a red pebble may be placed on any vertex holding a blue
+  pebble — a load, counted as one I/O;
+* R2 (Output): a blue pebble may be placed on any vertex holding a red
+  pebble — a store, counted as one I/O;
+* R3 (Compute): if all immediate predecessors of a non-input vertex hold
+  red pebbles, a red pebble may be placed on that vertex;
+* R4 (Delete): a red pebble may be removed from any vertex.
+
+Unlike the RBW variant (:mod:`repro.pebbling.rbw`), recomputation is
+allowed: R3 may fire the same vertex multiple times.  The engine below is
+a *rule checker and cost accountant*: strategies (how to choose moves)
+live in :mod:`repro.pebbling.strategies`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..core.cdag import CDAG, Vertex
+from .state import GameError, GameRecord, Move, MoveKind
+
+__all__ = ["RedBluePebbleGame"]
+
+
+class RedBluePebbleGame:
+    """Stateful engine for the Hong-Kung red-blue pebble game.
+
+    Parameters
+    ----------
+    cdag:
+        The CDAG to pebble.  Following Definition 2, every source vertex
+        should be an input and every sink an output; this is checked
+        unless ``strict=False``.
+    num_red:
+        The number of red pebbles ``S`` available.
+    strict:
+        Enforce the Hong-Kung convention on the CDAG tags.
+    """
+
+    def __init__(self, cdag: CDAG, num_red: int, strict: bool = True) -> None:
+        if num_red < 1:
+            raise ValueError("the game needs at least one red pebble")
+        if strict:
+            cdag.validate(hong_kung=True)
+        self.cdag = cdag
+        self.num_red = num_red
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Restore the initial state: blue pebbles on inputs, nothing else."""
+        self.red: Set[Vertex] = set()
+        self.blue: Set[Vertex] = set(self.cdag.inputs)
+        self.record = GameRecord()
+
+    # ------------------------------------------------------------------
+    # Moves (each validates its rule and updates the cost record)
+    # ------------------------------------------------------------------
+    def load(self, v: Vertex) -> None:
+        """R1: place a red pebble on a blue-pebbled vertex."""
+        if v not in self.blue:
+            raise GameError(f"R1 violated: {v!r} has no blue pebble")
+        if v in self.red:
+            raise GameError(f"R1 wasted: {v!r} already has a red pebble")
+        self._acquire_red(v)
+        self.record.append(Move(MoveKind.LOAD, v))
+
+    def store(self, v: Vertex) -> None:
+        """R2: place a blue pebble on a red-pebbled vertex."""
+        if v not in self.red:
+            raise GameError(f"R2 violated: {v!r} has no red pebble")
+        self.blue.add(v)
+        self.record.append(Move(MoveKind.STORE, v))
+
+    def compute(self, v: Vertex) -> None:
+        """R3: fire a non-input vertex whose predecessors all hold red pebbles."""
+        if self.cdag.is_input(v):
+            raise GameError(f"R3 violated: {v!r} is an input vertex")
+        missing = [p for p in self.cdag.predecessors(v) if p not in self.red]
+        if missing:
+            raise GameError(
+                f"R3 violated: predecessors of {v!r} without red pebbles: "
+                f"{missing[:3]}"
+            )
+        if v not in self.red:
+            self._acquire_red(v)
+        self.record.append(Move(MoveKind.COMPUTE, v))
+
+    def delete(self, v: Vertex) -> None:
+        """R4: remove a red pebble."""
+        if v not in self.red:
+            raise GameError(f"R4 violated: {v!r} has no red pebble")
+        self.red.remove(v)
+        self.record.append(Move(MoveKind.DELETE, v))
+
+    def _acquire_red(self, v: Vertex) -> None:
+        if len(self.red) >= self.num_red:
+            raise GameError(
+                f"out of red pebbles (S={self.num_red}); delete one first"
+            )
+        self.red.add(v)
+        self.record.peak_red = max(self.record.peak_red, len(self.red))
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def is_complete(self) -> bool:
+        """A complete game ends with blue pebbles on every output vertex."""
+        return all(v in self.blue for v in self.cdag.outputs)
+
+    def assert_complete(self) -> None:
+        missing = [v for v in self.cdag.outputs if v not in self.blue]
+        if missing:
+            raise GameError(
+                f"game incomplete: outputs without blue pebbles: {missing[:5]}"
+            )
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(self, moves: Iterable[Move]) -> GameRecord:
+        """Replay a move sequence from the initial state, validating every
+        move, and return the resulting record."""
+        self.reset()
+        dispatch = {
+            MoveKind.LOAD: self.load,
+            MoveKind.STORE: self.store,
+            MoveKind.COMPUTE: self.compute,
+            MoveKind.DELETE: self.delete,
+        }
+        for move in moves:
+            handler = dispatch.get(move.kind)
+            if handler is None:
+                raise GameError(
+                    f"move kind {move.kind} is not part of the red-blue game"
+                )
+            handler(move.vertex)
+        self.assert_complete()
+        return self.record

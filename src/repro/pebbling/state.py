@@ -1,0 +1,141 @@
+"""Move and game-record types shared by the pebble-game engines.
+
+A pebble game is recorded as a sequence of :class:`Move` objects.  Each
+engine (red-blue, RBW, parallel RBW) validates moves against its own rule
+set but shares this vocabulary:
+
+* ``LOAD``     — rule R1: slow memory -> fast memory (red pebble placed on
+  a blue-pebbled vertex);
+* ``STORE``    — rule R2: fast memory -> slow memory (blue pebble placed on
+  a red-pebbled vertex);
+* ``COMPUTE``  — rule R3/R6: fire an operation vertex;
+* ``DELETE``   — rule R4/R7: remove a red pebble (free fast memory);
+* ``REMOTE_GET`` — P-RBW rule R3: copy between two level-L memories across
+  the interconnect (horizontal data movement);
+* ``MOVE_UP``  — P-RBW rule R4: copy from a level-(l+1) store to one of its
+  child level-l stores (vertical movement, toward the processor);
+* ``MOVE_DOWN`` — P-RBW rule R5: copy from a level-(l-1) store to its
+  parent level-l store (vertical movement, away from the processor).
+
+The :class:`GameRecord` accumulates moves and cost counters; engines
+return one from :meth:`run` so that tests and benchmarks can inspect both
+the per-rule counts and the derived I/O costs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.cdag import Vertex
+
+__all__ = ["MoveKind", "Move", "GameRecord", "GameError"]
+
+
+class GameError(RuntimeError):
+    """Raised when a move violates the rules of the pebble game."""
+
+
+class MoveKind(enum.Enum):
+    """The kinds of transitions a pebble game may record."""
+
+    LOAD = "load"            # R1: blue -> red
+    STORE = "store"          # R2: red -> blue
+    COMPUTE = "compute"      # R3 (sequential) / R6 (parallel)
+    DELETE = "delete"        # R4 (sequential) / R7 (parallel)
+    REMOTE_GET = "remote_get"  # P-RBW R3 (horizontal)
+    MOVE_UP = "move_up"      # P-RBW R4 (level l+1 -> l)
+    MOVE_DOWN = "move_down"  # P-RBW R5 (level l-1 -> l)
+
+
+@dataclass(frozen=True)
+class Move:
+    """One transition of a pebble game.
+
+    ``location`` identifies which memory instance is involved for the
+    parallel game: a ``(level, index)`` pair for loads/moves, or the
+    processor index for computes.  Sequential games leave it ``None``.
+    """
+
+    kind: MoveKind
+    vertex: Vertex
+    location: Optional[Tuple[int, int]] = None
+    source: Optional[Tuple[int, int]] = None
+
+    def is_io(self) -> bool:
+        """True for the moves that Hong-Kung count as I/O (R1 and R2)."""
+        return self.kind in (MoveKind.LOAD, MoveKind.STORE)
+
+
+@dataclass
+class GameRecord:
+    """The result of running a pebble game: the move log and counters."""
+
+    moves: List[Move] = field(default_factory=list)
+    counts: Dict[MoveKind, int] = field(default_factory=dict)
+    #: vertical traffic per (level, instance): number of words moved into
+    #: that storage instance from below or above (P-RBW only)
+    vertical_io: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: horizontal traffic per level-L instance: number of remote gets it issued
+    horizontal_io: Dict[int, int] = field(default_factory=dict)
+    #: compute operations per processor (P-RBW only)
+    compute_per_processor: Dict[int, int] = field(default_factory=dict)
+    #: peak number of simultaneously used red pebbles (sequential games)
+    peak_red: int = 0
+
+    def append(self, move: Move) -> None:
+        self.moves.append(move)
+        self.counts[move.kind] = self.counts.get(move.kind, 0) + 1
+
+    @property
+    def io_count(self) -> int:
+        """Total R1 + R2 moves — the Hong-Kung / RBW I/O cost ``q``."""
+        return self.counts.get(MoveKind.LOAD, 0) + self.counts.get(
+            MoveKind.STORE, 0
+        )
+
+    @property
+    def load_count(self) -> int:
+        return self.counts.get(MoveKind.LOAD, 0)
+
+    @property
+    def store_count(self) -> int:
+        return self.counts.get(MoveKind.STORE, 0)
+
+    @property
+    def compute_count(self) -> int:
+        return self.counts.get(MoveKind.COMPUTE, 0)
+
+    @property
+    def total_vertical_io(self) -> int:
+        return sum(self.vertical_io.values())
+
+    @property
+    def total_horizontal_io(self) -> int:
+        return sum(self.horizontal_io.values())
+
+    def max_vertical_io_at_level(self, level: int) -> int:
+        """The largest per-instance vertical traffic among level-``level``
+        storage instances (the quantity bounded by Theorems 5 and 6)."""
+        values = [
+            v for (lvl, _idx), v in self.vertical_io.items() if lvl == level
+        ]
+        return max(values) if values else 0
+
+    def max_horizontal_io(self) -> int:
+        """Largest per-node horizontal traffic (bounded by Theorem 7)."""
+        return max(self.horizontal_io.values()) if self.horizontal_io else 0
+
+    def summary(self) -> Dict[str, int]:
+        """Flat dictionary of headline numbers for reports."""
+        return {
+            "moves": len(self.moves),
+            "io": self.io_count,
+            "loads": self.load_count,
+            "stores": self.store_count,
+            "computes": self.compute_count,
+            "peak_red": self.peak_red,
+            "vertical_io": self.total_vertical_io,
+            "horizontal_io": self.total_horizontal_io,
+        }

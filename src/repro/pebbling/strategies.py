@@ -1,0 +1,414 @@
+"""Pebbling strategies: schedule-driven players that produce complete games.
+
+A *strategy* turns a CDAG plus machine parameters into a valid complete
+pebble game; the I/O cost of that game is an **upper bound** on the
+CDAG's I/O complexity.  Together with the lower-bound analyzers in
+:mod:`repro.bounds`, strategies bracket the true complexity:
+
+``lower bound  <=  optimal game  <=  strategy game``
+
+Sequential strategies
+---------------------
+:func:`spill_game_rbw` and :func:`spill_game_redblue` execute a given
+schedule with ``S`` red pebbles, loading operands on demand and spilling
+(store-then-delete) with an LRU or Belady (furthest-next-use) victim
+policy.  This models a compiler/hardware-managed fast memory.
+
+Parallel strategies
+-------------------
+:func:`parallel_spill_game` executes an owner-computes schedule over a
+:class:`~repro.pebbling.hierarchy.MemoryHierarchy`: each vertex is
+assigned to a processor, operands are pulled through the hierarchy (remote
+get across nodes, move-up within a node) with per-instance LRU eviction,
+and the resulting :class:`~repro.pebbling.state.GameRecord` exposes the
+measured vertical and horizontal traffic that Theorems 5-7 bound from
+below.  :func:`contiguous_block_assignment` provides the default
+owner-computes mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.cdag import CDAG, CDAGError, Vertex
+from ..core.ordering import topological_schedule, validate_schedule
+from .hierarchy import MemoryHierarchy
+from .parallel import ParallelRBWPebbleGame
+from .rbw import RBWPebbleGame
+from .redblue import RedBluePebbleGame
+from .state import GameError, GameRecord
+
+__all__ = [
+    "spill_game_rbw",
+    "spill_game_redblue",
+    "contiguous_block_assignment",
+    "parallel_spill_game",
+]
+
+
+# ======================================================================
+# Sequential spill-based strategies
+# ======================================================================
+def _sequential_spill(
+    game,
+    cdag: CDAG,
+    num_red: int,
+    schedule: Sequence[Vertex],
+    policy: str,
+) -> GameRecord:
+    """Shared driver for the red-blue and RBW engines.
+
+    Walks the operation vertices of ``schedule`` in order.  Before firing a
+    vertex its operands are loaded (R1) if absent from fast memory,
+    spilling victims chosen by ``policy`` when the red-pebble budget is
+    exhausted.  Values whose last use has passed are deleted; outputs are
+    stored as soon as they are produced.
+    """
+    if policy not in ("lru", "belady"):
+        raise ValueError("policy must be 'lru' or 'belady'")
+    validate_schedule(cdag, schedule)
+
+    position = {v: i for i, v in enumerate(schedule)}
+    # Remaining uses (successors not yet fired) of every value.
+    remaining_uses: Dict[Vertex, int] = {
+        v: cdag.out_degree(v) for v in cdag.vertices
+    }
+    # Future use positions for the Belady policy.
+    future_uses: Dict[Vertex, List[int]] = {v: [] for v in cdag.vertices}
+    for v in cdag.vertices:
+        for s in cdag.successors(v):
+            future_uses[v].append(position[s])
+    for v in future_uses:
+        future_uses[v].sort(reverse=True)  # pop() yields the earliest use
+
+    clock = 0
+    last_use: Dict[Vertex, int] = {}
+
+    max_need = max(
+        (cdag.in_degree(v) + 1 for v in cdag.vertices if not cdag.is_input(v)),
+        default=1,
+    )
+    if num_red < max_need:
+        raise GameError(
+            f"S={num_red} red pebbles cannot fire a vertex with "
+            f"{max_need - 1} operands; need at least {max_need}"
+        )
+
+    def next_use(v: Vertex) -> float:
+        uses = future_uses[v]
+        while uses and uses[-1] < clock:
+            uses.pop()
+        return uses[-1] if uses else float("inf")
+
+    def pick_victim(pinned: Set[Vertex]) -> Vertex:
+        candidates = [u for u in game.red if u not in pinned]
+        if not candidates:
+            raise GameError(
+                "no evictable red pebble: fast memory too small for this "
+                "schedule step"
+            )
+        if policy == "belady":
+            return max(candidates, key=lambda u: (next_use(u), -last_use.get(u, 0)))
+        return min(candidates, key=lambda u: last_use.get(u, -1))
+
+    def make_room(pinned: Set[Vertex]) -> None:
+        while len(game.red) >= num_red:
+            victim = pick_victim(pinned)
+            needs_persist = remaining_uses[victim] > 0 or (
+                cdag.is_output(victim) and victim not in game.blue
+            )
+            if needs_persist and victim not in game.blue:
+                game.store(victim)
+            game.delete(victim)
+
+    def ensure_red(v: Vertex, pinned: Set[Vertex]) -> None:
+        if v in game.red:
+            last_use[v] = clock
+            return
+        if v not in game.blue:
+            raise GameError(
+                f"value {v!r} is neither in fast memory nor backed in slow "
+                "memory; the spill strategy should have stored it"
+            )
+        make_room(pinned)
+        game.load(v)
+        last_use[v] = clock
+
+    for v in schedule:
+        clock = position[v]
+        if cdag.is_input(v):
+            # Inputs are loaded lazily when first used.
+            continue
+        preds = cdag.predecessors(v)
+        pinned = set(preds) | {v}
+        for p in preds:
+            ensure_red(p, pinned)
+        make_room(pinned)
+        game.compute(v)
+        last_use[v] = clock
+        if cdag.is_output(v):
+            game.store(v)
+        # Retire operands whose last use has passed.
+        for p in preds:
+            remaining_uses[p] -= 1
+            if remaining_uses[p] == 0 and p in game.red:
+                if cdag.is_output(p) and p not in game.blue:
+                    game.store(p)
+                game.delete(p)
+        if remaining_uses[v] == 0 and v in game.red:
+            game.delete(v)
+
+    # Outputs that are inputs passed straight through (rare, but legal
+    # under flexible tagging) need a blue pebble; inputs already have one.
+    game.assert_complete()
+    return game.record
+
+
+def spill_game_rbw(
+    cdag: CDAG,
+    num_red: int,
+    schedule: Optional[Sequence[Vertex]] = None,
+    policy: str = "lru",
+) -> GameRecord:
+    """Play a complete RBW game along ``schedule`` with an LRU/Belady
+    spill policy.  Returns the game record (an I/O upper bound)."""
+    schedule = list(schedule) if schedule is not None else topological_schedule(cdag)
+    game = RBWPebbleGame(cdag, num_red)
+    return _sequential_spill(game, cdag, num_red, schedule, policy)
+
+
+def spill_game_redblue(
+    cdag: CDAG,
+    num_red: int,
+    schedule: Optional[Sequence[Vertex]] = None,
+    policy: str = "lru",
+) -> GameRecord:
+    """Play a complete Hong-Kung red-blue game along ``schedule``.
+
+    The strategy never recomputes (it spills instead), so its cost is an
+    upper bound for both the red-blue and the RBW I/O complexity.
+    """
+    schedule = list(schedule) if schedule is not None else topological_schedule(cdag)
+    game = RedBluePebbleGame(cdag, num_red, strict=False)
+    return _sequential_spill(game, cdag, num_red, schedule, policy)
+
+
+# ======================================================================
+# Parallel strategy
+# ======================================================================
+def contiguous_block_assignment(
+    cdag: CDAG,
+    num_processors: int,
+    schedule: Optional[Sequence[Vertex]] = None,
+) -> Dict[Vertex, int]:
+    """Owner-computes assignment: split a schedule into ``num_processors``
+    contiguous blocks of (roughly) equal operation counts.
+
+    Inputs are assigned to the processor of their first consumer so that
+    the initial load lands on the node that uses the value.
+    """
+    schedule = list(schedule) if schedule is not None else topological_schedule(cdag)
+    ops = [v for v in schedule if not cdag.is_input(v)]
+    assignment: Dict[Vertex, int] = {}
+    if not ops:
+        return {v: 0 for v in cdag.vertices}
+    per = max(1, (len(ops) + num_processors - 1) // num_processors)
+    for i, v in enumerate(ops):
+        assignment[v] = min(i // per, num_processors - 1)
+    for v in cdag.vertices:
+        if cdag.is_input(v):
+            succs = cdag.successors(v)
+            assignment[v] = assignment[succs[0]] if succs else 0
+    return assignment
+
+
+def parallel_spill_game(
+    cdag: CDAG,
+    hierarchy: MemoryHierarchy,
+    assignment: Optional[Dict[Vertex, int]] = None,
+    schedule: Optional[Sequence[Vertex]] = None,
+) -> GameRecord:
+    """Play a complete P-RBW game with an owner-computes strategy.
+
+    Every operation vertex is computed by its assigned processor; operand
+    values are pulled toward the processor through the hierarchy (R1 load
+    / R3 remote get at the top level, R4 move-up below), with per-instance
+    LRU eviction (R5 move-down / R2 store to persist values that are still
+    live).  The top (level-L) storage instances must be unbounded — the
+    standard P-RBW assumption that node memory is large enough to hold the
+    working set; blue pebbles model the initial/final value home.
+    """
+    L = hierarchy.num_levels
+    if hierarchy.capacity(L) is not None:
+        raise GameError(
+            "parallel_spill_game requires unbounded level-L memories"
+        )
+    schedule = list(schedule) if schedule is not None else topological_schedule(cdag)
+    validate_schedule(cdag, schedule)
+    if assignment is None:
+        assignment = contiguous_block_assignment(
+            cdag, hierarchy.num_processors, schedule
+        )
+    unknown = [v for v in cdag.vertices if v not in assignment]
+    if unknown:
+        raise GameError(f"assignment misses vertices, e.g. {unknown[:3]}")
+
+    game = ParallelRBWPebbleGame(cdag, hierarchy)
+    remaining_uses: Dict[Vertex, int] = {
+        v: cdag.out_degree(v) for v in cdag.vertices
+    }
+    clock = 0
+    last_use: Dict[Tuple[Tuple[int, int], Vertex], int] = {}
+
+    # Capacity sanity check at level 1.
+    max_need = max(
+        (cdag.in_degree(v) + 1 for v in cdag.vertices if not cdag.is_input(v)),
+        default=1,
+    )
+    s1 = hierarchy.capacity(1)
+    if s1 is not None and s1 < max_need:
+        raise GameError(
+            f"S_1={s1} registers cannot fire a vertex with {max_need - 1} "
+            f"operands; need at least {max_need}"
+        )
+
+    def shades(v: Vertex) -> Set[Tuple[int, int]]:
+        return game.pebbles.get(v, set())
+
+    def persist(v: Vertex, inst: Tuple[int, int]) -> None:
+        """Guarantee a copy of ``v`` survives eviction from ``inst``."""
+        level, index = inst
+        if v in game.blue:
+            return
+        if any(other != inst for other in shades(v)):
+            # Another storage instance still holds the value; for the LRU
+            # strategy this is sufficient persistence only if that copy is
+            # at an ancestor or another node's memory -- both reachable
+            # later via move-up / remote-get.  Copies in sibling register
+            # files cannot be read directly, so be conservative and only
+            # accept ancestors or level-L copies.
+            for (olvl, oidx) in shades(v):
+                if (olvl, oidx) == inst:
+                    continue
+                if olvl > level or olvl == L:
+                    return
+        if level == L:
+            game.store(v, index)
+            return
+        parent = hierarchy.parent_instance(level, index)
+        if parent not in shades(v):
+            make_room(parent, pinned=set())
+            game.move_down(v, parent[0], parent[1])
+
+    def make_room(inst: Tuple[int, int], pinned: Set[Vertex]) -> None:
+        level, index = inst
+        cap = hierarchy.capacity(level)
+        if cap is None:
+            return
+        occupied = game.occupancy.get(inst, set())
+        while len(occupied) >= cap:
+            candidates = [u for u in occupied if u not in pinned]
+            if not candidates:
+                raise GameError(
+                    f"storage {inst} cannot make room: all {cap} resident "
+                    "values are pinned"
+                )
+            victim = min(candidates, key=lambda u: last_use.get((inst, u), -1))
+            if remaining_uses[victim] > 0 or (
+                cdag.is_output(victim) and victim not in game.blue
+            ):
+                persist(victim, inst)
+            game.delete(victim, level, index)
+            occupied = game.occupancy.get(inst, set())
+
+    def bring_to_node(v: Vertex, node: int, pinned: Set[Vertex]) -> None:
+        """Ensure ``v`` holds the level-L pebble of ``node``."""
+        if (L, node) in shades(v):
+            last_use[((L, node), v)] = clock
+            return
+        holders = [idx for (lvl, idx) in shades(v) if lvl == L]
+        if v in game.blue:
+            game.load(v, node)
+        elif holders:
+            game.remote_get(v, node, holders[0])
+        else:
+            # The value lives only in some cache below another node's
+            # memory: push it down on its home node first.
+            home_shades = sorted(shades(v), key=lambda s: -s[0])
+            if not home_shades:
+                raise GameError(f"value {v!r} has been lost (no copy exists)")
+            lvl, idx = home_shades[0]
+            while lvl < L:
+                parent = hierarchy.parent_instance(lvl, idx)
+                make_room(parent, pinned)
+                game.move_down(v, parent[0], parent[1])
+                lvl, idx = parent
+            if idx == node:
+                pass
+            else:
+                game.remote_get(v, node, idx)
+        last_use[((L, node), v)] = clock
+
+    def bring_to_registers(v: Vertex, processor: int, pinned: Set[Vertex]) -> None:
+        """Ensure ``v`` holds processor ``processor``'s level-1 pebble."""
+        reg = (1, processor)
+        if reg in shades(v):
+            last_use[(reg, v)] = clock
+            return
+        node = hierarchy.instance_of_processor(L, processor)[1]
+        # Find the lowest level on this processor's path that already
+        # holds the value; pull from there.
+        path = [hierarchy.instance_of_processor(lvl, processor) for lvl in range(1, L + 1)]
+        start_level = None
+        for lvl, idx in path:
+            if (lvl, idx) in shades(v):
+                start_level = lvl
+                break
+        if start_level is None:
+            bring_to_node(v, node, pinned)
+            start_level = L
+        for lvl in range(start_level - 1, 0, -1):
+            inst = path[lvl - 1]
+            # bring_to_node may already have placed intermediate copies
+            # (e.g. when the only live copy sat in another processor's
+            # registers and had to be pushed down through shared levels).
+            if inst not in shades(v):
+                make_room(inst, pinned)
+                game.move_up(v, inst[0], inst[1])
+            last_use[(inst, v)] = clock
+
+    for v in schedule:
+        clock += 1
+        if cdag.is_input(v):
+            continue
+        proc = assignment[v]
+        preds = cdag.predecessors(v)
+        pinned = set(preds) | {v}
+        for p in preds:
+            bring_to_registers(p, proc, pinned)
+        make_room((1, proc), pinned)
+        game.compute(v, proc)
+        last_use[((1, proc), v)] = clock
+        if cdag.is_output(v):
+            node = hierarchy.instance_of_processor(L, proc)[1]
+            # Push the result down to the node memory and store it.
+            lvl, idx = 1, proc
+            while lvl < L:
+                parent = hierarchy.parent_instance(lvl, idx)
+                if parent not in shades(v):
+                    make_room(parent, pinned)
+                    game.move_down(v, parent[0], parent[1])
+                lvl, idx = parent
+            game.store(v, node)
+        for p in preds:
+            remaining_uses[p] -= 1
+            if remaining_uses[p] == 0:
+                for (lvl, idx) in list(shades(p)):
+                    if not (cdag.is_output(p) and p not in game.blue):
+                        game.delete(p, lvl, idx)
+        if remaining_uses[v] == 0 and not cdag.is_output(v):
+            for (lvl, idx) in list(shades(v)):
+                game.delete(v, lvl, idx)
+
+    game.assert_complete()
+    return game.record

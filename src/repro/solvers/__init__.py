@@ -1,0 +1,49 @@
+"""Numerical substrate: the discretized heat problem and its solvers.
+
+This package contains runnable, validated implementations of the
+computations the paper analyses (Section 5): the finite-difference
+discretization of the heat equation (:mod:`grid`), sparse / matrix-free
+operators (:mod:`sparse`), the Conjugate Gradient (:mod:`cg_solver`),
+GMRES (:mod:`gmres_solver`) and Jacobi (:mod:`jacobi_solver`) iterative
+solvers, a direct tridiagonal solver for 1-D validation
+(:mod:`tridiagonal`) and the end-to-end heat time-stepping driver
+(:mod:`heat`).
+"""
+
+from .cg_solver import CGResult, cg_flops_per_iteration, cg_total_flops, conjugate_gradient
+from .gmres_solver import GMRESResult, gmres, gmres_flops
+from .grid import Grid
+from .heat import HeatRunResult, run_heat_equation
+from .jacobi_solver import (
+    JacobiResult,
+    jacobi_solve,
+    stencil_flops,
+    stencil_sweeps,
+    tiled_sweep_io_estimate,
+)
+from .sparse import CSRMatrix, StencilOperator, laplacian_csr
+from .tridiagonal import build_tridiagonal, heat_tridiagonal, thomas_solve
+
+__all__ = [
+    "CGResult",
+    "cg_flops_per_iteration",
+    "cg_total_flops",
+    "conjugate_gradient",
+    "GMRESResult",
+    "gmres",
+    "gmres_flops",
+    "Grid",
+    "HeatRunResult",
+    "run_heat_equation",
+    "JacobiResult",
+    "jacobi_solve",
+    "stencil_flops",
+    "stencil_sweeps",
+    "tiled_sweep_io_estimate",
+    "CSRMatrix",
+    "StencilOperator",
+    "laplacian_csr",
+    "build_tridiagonal",
+    "heat_tridiagonal",
+    "thomas_solve",
+]

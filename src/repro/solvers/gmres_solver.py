@@ -1,0 +1,185 @@
+"""GMRES solver with modified Gram-Schmidt and Givens rotations (Figure 4).
+
+The paper's pseudocode (basic GMRES, no restarting) is implemented
+faithfully:
+
+.. code-block:: none
+
+    r0 <- b - A x0 ; v0 <- r0 / ||r0||
+    for i = 0, 1, ..., m-1:
+        w <- A v_i                                   # SpMV
+        for j = 0..i:  h[j,i] <- <w, v_j>            # dot products
+        v'_{i+1} <- w - sum_j h[j,i] v_j             # saxpys
+        h[i+1,i] <- ||v'_{i+1}||                     # dot product + sqrt
+        v_{i+1} <- v'_{i+1} / h[i+1,i]
+        apply Givens rotations to h[:,i]             # O(i) work
+    until convergence
+    y <- argmin || H y - ||r0|| e1 ||  ;  x <- x0 + V y
+
+The least-squares problem is solved incrementally with Givens rotations,
+so the residual norm is available at every iteration without forming the
+solution, exactly as production GMRES implementations do.
+
+Per outer iteration ``i`` on an ``n^d`` grid: one SpMV, ``i + 1`` dot
+products and ``i`` AXPYs — the operation-count structure behind the
+paper's total of ``20 n^3 m + n^3 m^2`` FLOPs for ``m`` iterations in 3-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "GMRESResult",
+    "gmres",
+    "gmres_flops",
+]
+
+
+@dataclass
+class GMRESResult:
+    """Outcome of a GMRES solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterate.
+    iterations:
+        Number of Krylov vectors generated (the ``m`` of the paper).
+    converged:
+        Whether the residual tolerance was reached.
+    residual_norms:
+        Estimated residual norm after each iteration.
+    hessenberg:
+        The (m+1) x m upper-Hessenberg matrix ``H`` built by the Arnoldi
+        process (before Givens rotations), kept for tests and for the
+        CDAG construction.
+    """
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norms: List[float] = field(default_factory=list)
+    hessenberg: Optional[np.ndarray] = None
+
+
+def gmres(
+    operator,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-10,
+    max_iterations: Optional[int] = None,
+    callback: Optional[Callable[[int, float], None]] = None,
+) -> GMRESResult:
+    """Solve ``A x = b`` with (unrestarted) GMRES.
+
+    Parameters mirror :func:`repro.solvers.cg_solver.conjugate_gradient`;
+    ``operator`` need not be symmetric.
+    """
+    b = np.asarray(b, dtype=float)
+    n = b.shape[0]
+    matvec = operator.matvec if hasattr(operator, "matvec") else (
+        lambda v: np.asarray(operator) @ v
+    )
+    x0 = np.zeros(n) if x0 is None else np.array(x0, dtype=float)
+    if x0.shape != b.shape:
+        raise ValueError("x0 and b must have the same shape")
+    m_max = n if max_iterations is None else min(int(max_iterations), n)
+
+    r0 = b - matvec(x0)
+    beta = float(np.linalg.norm(r0))
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    residuals = [beta]
+    if beta <= tol * b_norm or m_max == 0:
+        return GMRESResult(
+            x=x0, iterations=0, converged=beta <= tol * b_norm,
+            residual_norms=residuals, hessenberg=np.zeros((1, 0)),
+        )
+
+    V = np.zeros((m_max + 1, n))
+    H = np.zeros((m_max + 1, m_max))
+    V[0] = r0 / beta
+
+    # Givens rotation state for the incremental least-squares solve.
+    cs = np.zeros(m_max)
+    sn = np.zeros(m_max)
+    g = np.zeros(m_max + 1)
+    g[0] = beta
+
+    converged = False
+    i = -1
+    for i in range(m_max):
+        w = matvec(V[i])                                   # SpMV
+        # Modified Gram-Schmidt orthogonalisation.
+        for j in range(i + 1):
+            H[j, i] = float(w @ V[j])                      # dot product
+            w = w - H[j, i] * V[j]                         # saxpy
+        H[i + 1, i] = float(np.linalg.norm(w))             # norm
+        if H[i + 1, i] > 0:
+            V[i + 1] = w / H[i + 1, i]
+        # Apply the accumulated Givens rotations to the new column.
+        for j in range(i):
+            temp = cs[j] * H[j, i] + sn[j] * H[j + 1, i]
+            H[j + 1, i] = -sn[j] * H[j, i] + cs[j] * H[j + 1, i]
+            H[j, i] = temp
+        # New rotation annihilating H[i+1, i].
+        denom = float(np.hypot(H[i, i], H[i + 1, i]))
+        if denom == 0.0:
+            cs[i], sn[i] = 1.0, 0.0
+        else:
+            cs[i], sn[i] = H[i, i] / denom, H[i + 1, i] / denom
+        H[i, i] = cs[i] * H[i, i] + sn[i] * H[i + 1, i]
+        H[i + 1, i] = 0.0
+        g[i + 1] = -sn[i] * g[i]
+        g[i] = cs[i] * g[i]
+        residual = abs(float(g[i + 1]))
+        residuals.append(residual)
+        if callback is not None:
+            callback(i + 1, residual)
+        if residual <= tol * b_norm:
+            converged = True
+            break
+
+    m = i + 1
+    # Solve the m x m triangular system R y = g by back substitution.
+    y = np.zeros(m)
+    for row in range(m - 1, -1, -1):
+        s = g[row] - H[row, row + 1 : m] @ y[row + 1 : m]
+        y[row] = s / H[row, row] if H[row, row] != 0 else 0.0
+    x = x0 + V[:m].T @ y
+    return GMRESResult(
+        x=x,
+        iterations=m,
+        converged=converged,
+        residual_norms=residuals,
+        hessenberg=H[: m + 1, :m].copy(),
+    )
+
+
+def gmres_flops(
+    n: int, krylov_iterations: int, dimensions: int = 3,
+    paper_constant: bool = False,
+) -> float:
+    """Total operation count of ``m`` GMRES iterations on an ``n^d`` grid.
+
+    The paper (Section 5.3.3) uses ``20 n^3 m + n^3 m^2``: ~``20 n^3`` per
+    iteration for the SpMV-dominated fixed work plus ``n^3 m^2`` for the
+    growing orthogonalisation against all previous basis vectors.  With
+    ``paper_constant=False`` a slightly more precise sum
+    ``sum_i [2(2d+1) n^d + (i+1) 2 n^d + i 2 n^d + 2 n^d]`` is returned.
+    """
+    nd = n ** dimensions
+    m = krylov_iterations
+    if paper_constant:
+        return 20.0 * nd * m + nd * float(m) ** 2
+    total = 0.0
+    for i in range(m):
+        spmv = 2 * (2 * dimensions + 1) * nd
+        dots = (i + 1) * 2 * nd
+        axpys = i * 2 * nd + 2 * nd
+        norm_and_scale = 3 * nd
+        total += spmv + dots + axpys + norm_and_scale
+    return total

@@ -1,0 +1,187 @@
+"""Jacobi iteration / stencil sweeps (Section 5.4).
+
+Two closely-related computations are provided:
+
+* :func:`jacobi_solve` — the Jacobi *linear solver*: iteratively replaces
+  each unknown by the weighted average of its neighbours implied by the
+  system ``A x = b`` (``x_i <- (b_i - sum_{j != i} a_ij x_j) / a_ii``),
+  used as the classic slowly-converging baseline the paper describes
+  ("information propagates one grid point per iteration").
+* :func:`stencil_sweeps` — plain weighted-average stencil time-stepping
+  (the explicit heat update), which is the computation whose CDAG
+  (:func:`repro.core.builders.grid_stencil_cdag`) Theorem 10 analyses:
+  ``T`` sweeps of a (2d+1)- or 3^d-point stencil over an ``n^d`` grid.
+
+Also provided are the operation-count helpers used by the Section 5.4.3
+balance analysis and a tiled (blocked-in-space-and-time) sweep schedule
+whose I/O matches the Theorem 10 lower bound — the paper's evidence that
+the bound is tight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .grid import Grid
+
+__all__ = [
+    "JacobiResult",
+    "jacobi_solve",
+    "stencil_sweeps",
+    "stencil_flops",
+    "tiled_sweep_io_estimate",
+]
+
+
+@dataclass
+class JacobiResult:
+    """Outcome of a Jacobi linear solve."""
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norms: List[float] = field(default_factory=list)
+
+
+def jacobi_solve(
+    operator,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-8,
+    max_iterations: int = 10_000,
+    damping: float = 1.0,
+) -> JacobiResult:
+    """Solve ``A x = b`` with (damped) Jacobi iteration.
+
+    ``x_{k+1} = x_k + damping * D^{-1} (b - A x_k)`` where ``D`` is the
+    diagonal of ``A``.  Converges for diagonally dominant systems such as
+    the implicit heat matrix.
+    """
+    b = np.asarray(b, dtype=float)
+    matvec = operator.matvec if hasattr(operator, "matvec") else (
+        lambda v: np.asarray(operator) @ v
+    )
+    diag = (
+        operator.diagonal()
+        if hasattr(operator, "diagonal")
+        else np.diag(np.asarray(operator))
+    )
+    if np.any(diag == 0):
+        raise ValueError("Jacobi iteration requires a non-zero diagonal")
+    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=float)
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    residuals: List[float] = []
+    converged = False
+    it = 0
+    for it in range(1, max_iterations + 1):
+        r = b - matvec(x)
+        res = float(np.linalg.norm(r))
+        residuals.append(res)
+        if res <= tol * b_norm:
+            converged = True
+            break
+        x = x + damping * (r / diag)
+    return JacobiResult(x=x, iterations=it, converged=converged,
+                        residual_norms=residuals)
+
+
+def stencil_sweeps(
+    grid: Grid,
+    u0: np.ndarray,
+    timesteps: int,
+    neighborhood: str = "star",
+) -> np.ndarray:
+    """Run ``timesteps`` explicit stencil sweeps over the grid.
+
+    Each sweep replaces every interior value by a weighted average of its
+    neighbourhood (``star``: the 2d+1-point axis stencil of the explicit
+    heat update with ratio ``a``; ``box``: the 3^d-point average used by
+    the "9-points Jacobi" of Theorem 10 in 2-D).  Dirichlet (zero)
+    boundaries are assumed, matching :class:`Grid`.
+    """
+    u = np.asarray(u0, dtype=float).reshape(grid.shape).copy()
+    if timesteps < 0:
+        raise ValueError("timesteps cannot be negative")
+    a = grid.mesh_ratio
+    d = grid.ndim
+    for _ in range(timesteps):
+        if neighborhood == "star":
+            acc = (1.0 - 2.0 * d * a) * u
+            weight = a
+            shifts = []
+            for axis in range(d):
+                shifts.append((axis, 1))
+                shifts.append((axis, -1))
+            for axis, sign in shifts:
+                shifted = np.zeros_like(u)
+                src = [slice(None)] * d
+                dst = [slice(None)] * d
+                if sign > 0:
+                    src[axis] = slice(1, None)
+                    dst[axis] = slice(None, -1)
+                else:
+                    src[axis] = slice(None, -1)
+                    dst[axis] = slice(1, None)
+                shifted[tuple(dst)] = u[tuple(src)]
+                acc = acc + weight * shifted
+            u = acc
+        elif neighborhood == "box":
+            # Uniform 3^d-point average (centre weight chosen so the
+            # weights sum to 1), the structure analysed by Theorem 10.
+            import itertools
+
+            acc = np.zeros_like(u)
+            count = 3 ** d
+            for off in itertools.product((-1, 0, 1), repeat=d):
+                shifted = np.zeros_like(u)
+                src = [slice(None)] * d
+                dst = [slice(None)] * d
+                skip = False
+                for axis, o in enumerate(off):
+                    if o == 1:
+                        src[axis] = slice(1, None)
+                        dst[axis] = slice(None, -1)
+                    elif o == -1:
+                        src[axis] = slice(None, -1)
+                        dst[axis] = slice(1, None)
+                shifted[tuple(dst)] = u[tuple(src)]
+                acc = acc + shifted
+            u = acc / count
+        else:
+            raise ValueError("neighborhood must be 'star' or 'box'")
+    return u.reshape(-1)
+
+
+def stencil_flops(n: int, timesteps: int, dimensions: int,
+                  neighborhood: str = "star") -> float:
+    """Operation count of ``T`` stencil sweeps on an ``n^d`` grid.
+
+    ``star``: ``2(2d+1) n^d`` FLOPs per sweep (one multiply-add per
+    neighbour plus the centre); ``box``: ``2 * 3^d n^d``.
+    """
+    nd = n ** dimensions
+    per_point = 2 * (2 * dimensions + 1) if neighborhood == "star" else 2 * 3 ** dimensions
+    return float(per_point) * nd * timesteps
+
+
+def tiled_sweep_io_estimate(
+    n: int, timesteps: int, dimensions: int, cache_words: int
+) -> float:
+    """I/O of the classic space-time tiled stencil schedule.
+
+    Tiling space into blocks of side ``b`` with ``b^d ~ S`` (so a block
+    fits in cache) and time into chunks of ``t ~ b`` sweeps, each tile of
+    work loads ``O(b^d)`` words and performs ``O(b^d * t)`` updates; over
+    the whole iteration space the traffic is
+
+    ``~ n^d T / (2S)^{1/d}``
+
+    matching the Theorem 10 lower bound ``n^d T / (4 (2S)^{1/d})`` up to
+    the constant — this is the upper bound showing the bound is tight.
+    """
+    if min(n, timesteps, dimensions, cache_words) < 1:
+        raise ValueError("invalid parameters")
+    return n ** dimensions * timesteps / (2.0 * cache_words) ** (1.0 / dimensions)

@@ -1,0 +1,227 @@
+"""Sparse linear operators for the discretized heat problem.
+
+Two operator representations are provided:
+
+* :class:`CSRMatrix` — a from-scratch compressed-sparse-row matrix with
+  the handful of kernels the Krylov solvers need (SpMV, transpose,
+  diagonal extraction).  It exists so the library has no hard dependency
+  on ``scipy.sparse`` for its core path and so that the SpMV kernel is
+  plain, inspectable Python/NumPy (the thing whose CDAG the paper
+  analyses).
+* :class:`StencilOperator` — the matrix-free (2d+1)-point operator of the
+  implicit heat system: diagonal ``1 + d*a``, off-diagonal ``-a/2``
+  toward each axis neighbour.  This mirrors the paper's remark that "the
+  elements of the matrix are not explicitly stored; their values are
+  directly embedded in the program as constants".
+
+Both expose the same tiny interface (``shape``, ``matvec``, ``diagonal``)
+so the solvers are agnostic to the representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .grid import Grid
+
+__all__ = ["CSRMatrix", "StencilOperator", "laplacian_csr"]
+
+
+class CSRMatrix:
+    """A minimal compressed-sparse-row matrix.
+
+    Parameters
+    ----------
+    data, indices, indptr:
+        The usual CSR arrays: ``data[indptr[i]:indptr[i+1]]`` are the
+        non-zero values of row ``i`` located at columns
+        ``indices[indptr[i]:indptr[i+1]]``.
+    shape:
+        ``(rows, cols)``.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> None:
+        self.data = np.asarray(data, dtype=float)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if len(self.indptr) != self.shape[0] + 1:
+            raise ValueError("indptr length must be rows + 1")
+        if len(self.data) != len(self.indices):
+            raise ValueError("data and indices must have equal length")
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.data):
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.shape[1]
+        ):
+            raise ValueError("column index out of range")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        rows: Sequence[int],
+        cols: Sequence[int],
+        values: Sequence[float],
+        shape: Tuple[int, int],
+    ) -> "CSRMatrix":
+        """Build from coordinate triplets (duplicates are summed)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values, dtype=float)
+        if not (len(rows) == len(cols) == len(values)):
+            raise ValueError("rows, cols and values must have equal length")
+        order = np.lexsort((cols, rows))
+        rows, cols, values = rows[order], cols[order], values[order]
+        # merge duplicates
+        if len(rows):
+            keep = np.ones(len(rows), dtype=bool)
+            keep[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+            group = np.cumsum(keep) - 1
+            merged = np.zeros(group[-1] + 1, dtype=float)
+            np.add.at(merged, group, values)
+            rows, cols, values = rows[keep], cols[keep], merged
+        indptr = np.zeros(shape[0] + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        indptr = np.cumsum(indptr)
+        return cls(values, cols, indptr, shape)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, tol: float = 0.0) -> "CSRMatrix":
+        dense = np.asarray(dense, dtype=float)
+        rows, cols = np.nonzero(np.abs(dense) > tol)
+        return cls.from_coo(rows, cols, dense[rows, cols], dense.shape)
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return len(self.data)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Sparse matrix-vector product ``A @ x``."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.shape[1],):
+            raise ValueError(
+                f"dimension mismatch: matrix is {self.shape}, vector is {x.shape}"
+            )
+        # Vectorised CSR SpMV: gather + segment-sum via reduceat.
+        gathered = self.data * x[self.indices]
+        out = np.zeros(self.shape[0], dtype=float)
+        nonempty = np.diff(self.indptr) > 0
+        if gathered.size:
+            sums = np.add.reduceat(gathered, self.indptr[:-1][nonempty])
+            out[nonempty] = sums
+        return out
+
+    def diagonal(self) -> np.ndarray:
+        """The main diagonal (zeros where no entry is stored)."""
+        diag = np.zeros(min(self.shape), dtype=float)
+        for i in range(min(self.shape)):
+            start, end = self.indptr[i], self.indptr[i + 1]
+            cols = self.indices[start:end]
+            hit = np.nonzero(cols == i)[0]
+            if hit.size:
+                diag[i] = self.data[start + hit[0]]
+        return diag
+
+    def transpose(self) -> "CSRMatrix":
+        """The transpose, as a new CSR matrix."""
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        return CSRMatrix.from_coo(
+            self.indices, rows, self.data, (self.shape[1], self.shape[0])
+        )
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=float)
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        out[rows, self.indices] = self.data
+        return out
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(columns, values) of row ``i``."""
+        start, end = self.indptr[i], self.indptr[i + 1]
+        return self.indices[start:end], self.data[start:end]
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+
+@dataclass(frozen=True)
+class StencilOperator:
+    """Matrix-free (2d+1)-point operator of the implicit heat system.
+
+    ``(A u)_i = diag * u_i + off * sum_{j ~ i} u_j`` where ``~`` ranges
+    over the axis neighbours of grid point ``i`` and the coefficients come
+    from :meth:`repro.solvers.grid.Grid.implicit_matrix_diagonals`.
+    The operator is symmetric positive definite for the heat-system
+    coefficients, which is what CG requires.
+    """
+
+    grid: Grid
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        n = self.grid.num_points
+        return (n, n)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.grid.num_points,):
+            raise ValueError("dimension mismatch in stencil matvec")
+        diag, off = self.grid.implicit_matrix_diagonals()
+        u = x.reshape(self.grid.shape)
+        acc = diag * u
+        for axis in range(self.grid.ndim):
+            lower = np.zeros_like(u)
+            upper = np.zeros_like(u)
+            sl_lo = [slice(None)] * self.grid.ndim
+            sl_hi = [slice(None)] * self.grid.ndim
+            sl_lo[axis] = slice(1, None)
+            sl_hi[axis] = slice(None, -1)
+            lower[tuple(sl_lo)] = u[tuple(sl_hi)]
+            upper[tuple(sl_hi)] = u[tuple(sl_lo)]
+            acc = acc + off * (lower + upper)
+        return acc.reshape(-1)
+
+    def diagonal(self) -> np.ndarray:
+        diag, _ = self.grid.implicit_matrix_diagonals()
+        return np.full(self.grid.num_points, diag)
+
+    def to_csr(self) -> CSRMatrix:
+        """Materialise the operator as an explicit CSR matrix (small grids
+        only; used by tests to check the matrix-free kernel)."""
+        return laplacian_csr(self.grid)
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+
+def laplacian_csr(grid: Grid) -> CSRMatrix:
+    """Explicit CSR form of the implicit heat-system matrix on ``grid``."""
+    diag, off = grid.implicit_matrix_diagonals()
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    for idx in grid.points():
+        i = grid.ravel(idx)
+        rows.append(i)
+        cols.append(i)
+        vals.append(diag)
+        for jdx in grid.neighbors(idx):
+            rows.append(i)
+            cols.append(grid.ravel(jdx))
+            vals.append(off)
+    n = grid.num_points
+    return CSRMatrix.from_coo(rows, cols, vals, (n, n))

@@ -1,0 +1,5 @@
+"""Small shared utilities."""
+
+from .validation import require_positive, require_in_range
+
+__all__ = ["require_positive", "require_in_range"]

@@ -1,0 +1,32 @@
+"""Argument validation helpers used across the library.
+
+Kept deliberately tiny: most validation lives next to the code it guards,
+but a couple of patterns repeat often enough (positive numeric parameters,
+bounded ranges) that a shared helper keeps error messages consistent.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Optional
+
+__all__ = ["require_positive", "require_in_range"]
+
+
+def require_positive(name: str, value, strict: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value`` is a positive (or non-negative)
+    real number."""
+    if not isinstance(value, Real):
+        raise ValueError(f"{name} must be a number, got {type(value).__name__}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+def require_in_range(name: str, value, low, high) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not isinstance(value, Real):
+        raise ValueError(f"{name} must be a number, got {type(value).__name__}")
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")

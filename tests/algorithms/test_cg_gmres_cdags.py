@@ -1,0 +1,160 @@
+"""Tests for the CG and GMRES CDAG constructions and Theorem 8/9 analyses."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    analyze_cg,
+    analyze_gmres,
+    cg_iteration_cdag,
+    gmres_iteration_cdag,
+    traced_cg_cdag,
+    traced_gmres_cdag,
+)
+from repro.bounds import automated_wavefront_bound, cg_wavefront_sizes
+from repro.core.properties import min_wavefront
+from repro.machine import CRAY_XT5, IBM_BGQ
+from repro.solvers import Grid, StencilOperator, conjugate_gradient
+
+
+class TestCGStructuralCDAG:
+    def test_basic_structure(self):
+        c = cg_iteration_cdag((3, 3), 1)
+        assert len(c.inputs) == 3 * 9  # x0, r0, p0
+        assert len(c.outputs) == 3 * 9  # final x, r, p
+        c.validate()
+
+    def test_multiple_iterations_grow_linearly(self):
+        one = cg_iteration_cdag((2, 2), 1).num_vertices()
+        two = cg_iteration_cdag((2, 2), 2).num_vertices()
+        three = cg_iteration_cdag((2, 2), 3).num_vertices()
+        assert (three - two) == (two - one)
+
+    def test_wavefront_at_step_scalar_matches_theorem8(self):
+        # Theorem 8: |W^min(a)| >= 2 n^d  (elements of p and v)
+        for shape in [(2, 2), (3, 2)]:
+            nd = int(np.prod(shape))
+            c = cg_iteration_cdag(shape, 1)
+            assert min_wavefront(c, ("a", 0)) >= 2 * nd
+
+    def test_wavefront_at_beta_scalar_matches_theorem8(self):
+        # |W^min(g)| >= n^d (elements of r_new)
+        for shape in [(2, 2), (4,)]:
+            nd = int(np.prod(shape))
+            c = cg_iteration_cdag(shape, 1)
+            assert min_wavefront(c, ("g", 0)) >= nd
+
+    def test_automated_heuristic_finds_the_large_wavefront(self):
+        shape = (2, 2)
+        nd = 4
+        c = cg_iteration_cdag(shape, 1)
+        bound = automated_wavefront_bound(c, s=0)
+        assert bound.wavefront >= 2 * nd
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            cg_iteration_cdag((2, 2), 0)
+
+
+class TestCGTracedCDAG:
+    def test_traced_cg_matches_vectorised_solver(self):
+        grid = Grid(shape=(3, 3))
+        iterations = 2
+        x_traced, cdag = traced_cg_cdag(grid, iterations)
+        # reference: the vectorised CG limited to the same iteration count,
+        # starting from x = 0 with the same (ramp) right-hand side
+        op = StencilOperator(grid)
+        ramp = 1.0 + np.arange(grid.num_points, dtype=float) / grid.num_points
+        b = grid.implicit_rhs(ramp)
+        ref = conjugate_gradient(op, b, tol=0.0, max_iterations=iterations)
+        assert np.allclose(x_traced, ref.x, atol=1e-10)
+        cdag.validate()
+
+    def test_traced_cdag_has_dot_product_wavefronts(self):
+        grid = Grid(shape=(2, 2))
+        _, cdag = traced_cg_cdag(grid, 1)
+        bound = automated_wavefront_bound(cdag, s=0)
+        assert bound.wavefront >= 2 * grid.num_points
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            traced_cg_cdag(Grid(shape=(2, 2)), 0)
+
+
+class TestGMRESCDAGs:
+    def test_structural_counts(self):
+        shape, m = (2, 2), 2
+        c = gmres_iteration_cdag(shape, m)
+        assert len(c.inputs) == 4
+        c.validate()
+        # Hessenberg scalars: sum_{i<m} (i+1) + m norms
+        num_h = sum(i + 1 for i in range(m)) + m
+        h_outputs = [v for v in c.outputs if v[0] in ("h+", "h_last")]
+        assert len(h_outputs) == num_h
+
+    def test_wavefront_at_last_inner_product(self):
+        shape = (2, 2)
+        nd = 4
+        c = gmres_iteration_cdag(shape, 1)
+        bound = automated_wavefront_bound(c, s=0)
+        assert bound.wavefront >= 2 * nd
+
+    def test_traced_gmres_matches_numpy_arnoldi(self):
+        grid = Grid(shape=(3, 2))
+        m = 2
+        traced_v, cdag = traced_gmres_cdag(grid, m)
+        # reference Arnoldi with the same operator and (ramp) start vector
+        op = StencilOperator(grid)
+        ramp = 1.0 + np.arange(grid.num_points, dtype=float) / grid.num_points
+        r0 = grid.implicit_rhs(ramp)
+        v = [r0 / np.linalg.norm(r0)]
+        for i in range(m):
+            w = op.matvec(v[i])
+            for j in range(i + 1):
+                w = w - (w @ v[j]) * v[j]
+            v.append(w / np.linalg.norm(w))
+        assert np.allclose(traced_v, v[-1], atol=1e-10)
+        cdag.validate()
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            gmres_iteration_cdag((2, 2), 0)
+        with pytest.raises(ValueError):
+            traced_gmres_cdag(Grid(shape=(2, 2)), 0)
+
+
+class TestSection52Analysis:
+    def test_cg_vertical_intensity_is_0_3(self, bgq, xt5):
+        for machine in (bgq, xt5):
+            a = analyze_cg(machine, n=1000, dimensions=3, iterations=1)
+            assert a.vertical_intensity == pytest.approx(0.3)
+            assert a.vertical_verdict.bound is True
+
+    def test_cg_horizontal_matches_paper_formula(self, bgq):
+        a = analyze_cg(bgq, n=1000, dimensions=3, iterations=1)
+        paper = 6 * bgq.num_nodes ** (1 / 3) / (20 * 1000)
+        assert a.horizontal_intensity == pytest.approx(paper, rel=0.2)
+        assert a.horizontal_verdict.bound is False
+
+    def test_cg_intensity_independent_of_iterations(self, bgq):
+        a1 = analyze_cg(bgq, n=500, iterations=1)
+        a5 = analyze_cg(bgq, n=500, iterations=5)
+        assert a1.vertical_intensity == pytest.approx(a5.vertical_intensity)
+
+
+class TestSection53Analysis:
+    def test_gmres_vertical_intensity_formula(self, bgq):
+        for m in (5, 10, 50):
+            a = analyze_gmres(bgq, n=1000, dimensions=3, krylov_iterations=m)
+            assert a.vertical_intensity == pytest.approx(6.0 / (m + 20))
+
+    def test_gmres_crossover_with_large_m(self, bgq):
+        small_m = analyze_gmres(bgq, krylov_iterations=10)
+        large_m = analyze_gmres(bgq, krylov_iterations=200)
+        assert small_m.vertical_verdict.bound is True
+        assert large_m.vertical_verdict.bound is False
+
+    def test_gmres_never_network_bound_here(self, bgq, xt5):
+        for machine in (bgq, xt5):
+            a = analyze_gmres(machine, n=1000, krylov_iterations=10)
+            assert a.horizontal_verdict.bound is False

@@ -1,0 +1,115 @@
+"""Unit tests for the composition rules (Theorems 2-4, Corollary 2)."""
+
+import pytest
+
+from repro.bounds import (
+    DecompositionBound,
+    decompose_disjoint,
+    io_deletion_bound,
+    nondisjoint_iteration_bound,
+    sum_of_bounds,
+    tagging_bound,
+    untagging_bound,
+)
+from repro.core import CDAGError, chain_cdag, diamond_cdag, independent_chains_cdag
+from repro.pebbling import optimal_rbw_io, spill_game_rbw
+
+
+class TestDecomposition:
+    def test_induced_subgraphs_partition_edges(self):
+        c = diamond_cdag(4, 4)
+        rows = [[v for v in c.vertices if v[1] == t] for t in range(4)]
+        subs = decompose_disjoint(c, rows)
+        assert len(subs) == 4
+        assert sum(s.num_vertices() for s in subs) == c.num_vertices()
+        # only edges within a row survive (the diamond has none)
+        assert all(s.num_edges() == 0 for s in subs)
+
+    def test_overlapping_parts_rejected(self):
+        c = chain_cdag(3)
+        with pytest.raises(CDAGError):
+            decompose_disjoint(c, [[("chain", 0)], [("chain", 0), ("chain", 1)]])
+
+    def test_partial_cover_allowed(self):
+        c = chain_cdag(3)
+        subs = decompose_disjoint(c, [[("chain", 0), ("chain", 1)]])
+        assert len(subs) == 1
+
+    def test_sum_of_bounds(self):
+        total = sum_of_bounds([("a", 3.0), ("b", 4.5), ("a", 1.0)])
+        assert total.total == 8.5
+        assert total.terms["a"] == 4.0
+
+    def test_sum_of_bounds_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sum_of_bounds([("x", -1.0)])
+
+    def test_theorem2_soundness_on_independent_chains(self):
+        # The I/O of k independent chains is the sum of the chains' I/O;
+        # the decomposition bound (sum of per-chain optima) must not exceed
+        # the optimum of the whole CDAG.
+        c = independent_chains_cdag(3, 3)
+        per_chain = []
+        for k in range(3):
+            verts = [v for v in c.vertices if v[1] == k]
+            sub = c.induced_subgraph(verts)
+            per_chain.append((f"chain{k}", optimal_rbw_io(sub, 2).io))
+        total = sum_of_bounds(per_chain).total
+        whole = optimal_rbw_io(c, 2).io
+        assert total <= whole
+        assert whole == 6  # 3 chains x (1 load + 1 store)
+
+
+class TestCorollary2AndTheorem3:
+    def test_io_deletion_arithmetic(self):
+        assert io_deletion_bound(10.0, 3, 2) == 15.0
+
+    def test_io_deletion_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            io_deletion_bound(1.0, -1, 0)
+
+    def test_untagging_arithmetic(self):
+        assert untagging_bound(20.0, 4, 6) == 10.0
+        assert untagging_bound(5.0, 4, 6) == 0.0
+
+    def test_tagging_is_identity(self):
+        assert tagging_bound(7.5) == 7.5
+
+    def test_theorem3_soundness_on_chain(self):
+        # Tag the middle of a chain as an extra output; the tagged CDAG
+        # needs one more store.  untagging_bound recovers a valid bound for
+        # the original.
+        c = chain_cdag(4)
+        tagged = c.retagged(add_outputs=[("chain", 2)])
+        io_tagged = optimal_rbw_io(tagged, 2).io
+        io_plain = optimal_rbw_io(c, 2).io
+        assert io_tagged == io_plain + 1
+        assert untagging_bound(io_tagged, 0, 1) <= io_plain
+        # untagging direction: a bound for the plain CDAG bounds the tagged one
+        assert tagging_bound(io_plain) <= io_tagged
+
+    def test_corollary2_soundness_on_chain(self):
+        # C' = chain with its input and output vertices; C = the middle.
+        c_full = chain_cdag(3)
+        core = c_full.without_io_vertices()
+        io_core = 0  # the middle of a chain alone needs no I/O (no tags)
+        assert io_deletion_bound(io_core, 1, 1) <= optimal_rbw_io(c_full, 2).io
+
+
+class TestTheorem4:
+    def test_nondisjoint_iteration_arithmetic(self):
+        assert nondisjoint_iteration_bound(12.5, 4) == 50.0
+        assert nondisjoint_iteration_bound(12.5, 0) == 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            nondisjoint_iteration_bound(-1.0, 3)
+        with pytest.raises(ValueError):
+            nondisjoint_iteration_bound(1.0, -3)
+
+    def test_decomposition_bound_accumulator(self):
+        b = DecompositionBound(total=0.0)
+        b.add("iter0", 5)
+        b.add("iter1", 7)
+        assert b.total == 12
+        assert set(b.terms) == {"iter0", "iter1"}

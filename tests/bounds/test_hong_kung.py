@@ -1,0 +1,128 @@
+"""Unit tests for the Hong-Kung 2S-partition lower bounds."""
+
+import pytest
+
+from repro.bounds import (
+    exhaustive_min_partition_count,
+    lower_bound_from_largest_subset,
+    lower_bound_from_partition_count,
+    verify_theorem1_relation,
+)
+from repro.core import (
+    chain_cdag,
+    greedy_rbw_partition,
+    outer_product_cdag,
+    reduction_tree_cdag,
+    topological_schedule,
+)
+from repro.core.partition import partition_from_schedule
+from repro.pebbling import spill_game_rbw
+
+
+class TestLemma1Arithmetic:
+    def test_basic_formula(self):
+        b = lower_bound_from_partition_count(s=4, h_min=10)
+        assert b.value == 4 * 9
+        assert b.s == 4 and b.h_lower == 10
+
+    def test_zero_when_h_is_one(self):
+        assert lower_bound_from_partition_count(3, 1).value == 0
+
+    def test_never_negative(self):
+        assert lower_bound_from_partition_count(3, 0.5).value == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            lower_bound_from_partition_count(0, 2)
+        with pytest.raises(ValueError):
+            lower_bound_from_partition_count(2, -1)
+
+
+class TestCorollary1Arithmetic:
+    def test_basic_formula(self):
+        b = lower_bound_from_largest_subset(s=4, num_operations=100, u_upper=10)
+        assert b.value == 4 * (100 / 10 - 1)
+        assert b.u_upper == 10
+
+    def test_large_u_gives_zero(self):
+        assert lower_bound_from_largest_subset(4, 10, 1000).value == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            lower_bound_from_largest_subset(4, 10, 0)
+        with pytest.raises(ValueError):
+            lower_bound_from_largest_subset(4, -1, 10)
+        with pytest.raises(ValueError):
+            lower_bound_from_largest_subset(0, 10, 10)
+
+
+class TestTheorem1Relation:
+    @pytest.mark.parametrize("s", [4, 5, 8])
+    def test_partition_built_from_game_is_valid_and_bounds_io(self, s):
+        cdag = reduction_tree_cdag(16)
+        record = spill_game_rbw(cdag, s)
+        assert verify_theorem1_relation(cdag, record, s)
+
+    def test_theorem1_on_outer_product(self):
+        cdag = outer_product_cdag(4)
+        record = spill_game_rbw(cdag, 6)
+        assert verify_theorem1_relation(cdag, record, 6)
+
+    def test_theorem1_partition_construction_properties(self):
+        from repro.core import check_rbw_partition, partition_from_game
+
+        cdag = reduction_tree_cdag(8)
+        s = 4
+        record = spill_game_rbw(cdag, s)
+        part = partition_from_game(cdag, record.moves, s)
+        assert check_rbw_partition(cdag, part) == []
+        assert part.all_vertices() == set(cdag.operations)
+        assert record.io_count >= s * (part.h - 1)
+
+
+class TestExhaustiveHCount:
+    def test_chain_single_subset(self):
+        # a chain's operations fit in one subset for S >= 1
+        c = chain_cdag(4)
+        assert exhaustive_min_partition_count(c, s=2) == 1
+
+    def test_outer_product_needs_multiple_subsets(self):
+        c = outer_product_cdag(3)  # 9 products, 6 inputs
+        h = exhaustive_min_partition_count(c, s=2)  # 2S = 4 < 6 inputs
+        assert h >= 2
+
+    def test_h_decreases_with_s(self):
+        c = outer_product_cdag(3)
+        h_small = exhaustive_min_partition_count(c, s=2)
+        h_large = exhaustive_min_partition_count(c, s=4)
+        assert h_large <= h_small
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            exhaustive_min_partition_count(reduction_tree_cdag(64), s=4)
+
+    def test_lemma1_with_exhaustive_h_is_sound(self):
+        # lower bound from the exact H(2S) must not exceed an actual game's IO
+        c = outer_product_cdag(3)
+        s = 3
+        h = exhaustive_min_partition_count(c, s=s)
+        lb = lower_bound_from_partition_count(s, h).value
+        ub = spill_game_rbw(c, num_red=s).io_count
+        assert lb <= ub
+
+
+class TestGreedyPartitionInteroperability:
+    def test_corollary1_with_greedy_u_is_consistent(self):
+        cdag = reduction_tree_cdag(16)
+        s = 4
+        part = greedy_rbw_partition(cdag, s)
+        # the greedy partition's largest subset is a *feasibility witness*,
+        # i.e. a lower bound on U(2S); using it in Corollary 1 gives an
+        # over-estimate of the bound, which must still not exceed the I/O
+        # of the game built from the same schedule plus slack 2S*h.
+        u_witness = part.largest_subset_size()
+        bound = lower_bound_from_largest_subset(
+            s, len(cdag.operations), u_witness
+        )
+        record = spill_game_rbw(cdag, s)
+        assert bound.value <= record.io_count + 2 * s * part.h

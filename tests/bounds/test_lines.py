@@ -1,0 +1,120 @@
+"""Unit tests for the Hong-Kung lines (vertex-disjoint paths) technique."""
+
+import pytest
+
+from repro.bounds.lines import (
+    find_lines,
+    jacobi_lines_bound,
+    lines_lower_bound,
+    stencil_f_inverse,
+)
+from repro.bounds import jacobi_io_lower_bound
+from repro.core import (
+    chain_cdag,
+    diamond_cdag,
+    grid_stencil_cdag,
+    independent_chains_cdag,
+    reduction_tree_cdag,
+)
+from repro.pebbling import spill_game_rbw
+
+
+class TestFindLines:
+    def test_chain_has_one_line_covering_everything(self):
+        c = chain_cdag(5)
+        lines = find_lines(c)
+        assert len(lines) == 1
+        assert len(lines[0]) == c.num_vertices()
+
+    def test_independent_chains_all_found(self):
+        c = independent_chains_cdag(4, 3)
+        lines = find_lines(c)
+        assert len(lines) == 4
+        # disjointness
+        seen = set()
+        for path in lines:
+            assert not (set(path) & seen)
+            seen |= set(path)
+
+    def test_lines_are_paths_from_inputs_to_outputs(self):
+        c = diamond_cdag(5, 4)
+        lines = find_lines(c)
+        assert len(lines) == 5  # one per column
+        for path in lines:
+            assert c.is_input(path[0])
+            assert c.is_output(path[-1])
+            for u, v in zip(path, path[1:]):
+                assert c.has_edge(u, v)
+
+    def test_lines_vertex_disjoint_on_stencil(self):
+        c = grid_stencil_cdag((4, 4), 2)
+        lines = find_lines(c)
+        assert len(lines) == 16
+        seen = set()
+        for path in lines:
+            assert not (set(path) & seen)
+            seen |= set(path)
+
+    def test_reduction_tree_limited_by_single_output(self):
+        c = reduction_tree_cdag(8)
+        lines = find_lines(c)
+        assert len(lines) == 1
+
+    def test_max_lines_cap(self):
+        c = independent_chains_cdag(4, 2)
+        assert len(find_lines(c, max_lines=2)) <= 2
+
+    def test_empty_io_sets(self):
+        from repro.core import CDAG
+
+        c = CDAG(edges=[("a", "b")])
+        assert find_lines(c) == []
+
+
+class TestFormula:
+    def test_lines_lower_bound_formula(self):
+        a = lines_lower_bound(total_line_vertices=1000, f_inverse_2s=9.0)
+        assert a.value == pytest.approx(1000 / 20)
+
+    def test_guards(self):
+        with pytest.raises(ValueError):
+            lines_lower_bound(-1, 1.0)
+        with pytest.raises(ValueError):
+            lines_lower_bound(1, -1.0)
+        with pytest.raises(ValueError):
+            stencil_f_inverse(0, 2)
+
+    def test_stencil_f_inverse_2d(self):
+        # the proof of Theorem 10 quotes F^{-1}(2S) = 2 sqrt(2S) - 1
+        assert stencil_f_inverse(128, 2) == pytest.approx(2 * 128 ** 0.5 - 1)
+
+
+class TestJacobiLinesBound:
+    def test_consistent_with_theorem10_closed_form(self):
+        n, t, s, d = 6, 3, 8, 2
+        cdag = grid_stencil_cdag((n, n), t)
+        analysis = jacobi_lines_bound(cdag, s=s, dimensions=d)
+        closed = jacobi_io_lower_bound(n, t, s, d)
+        # both are Theta(n^d T / (2S)^{1/d}); they agree within a small
+        # constant factor on concrete instances
+        assert analysis.value == pytest.approx(closed, rel=1.0)
+        assert analysis.num_lines == n * n
+        assert analysis.total_line_vertices == n * n * (t + 1)
+
+    def test_bound_below_actual_game(self):
+        n, t, s = 6, 3, 8
+        cdag = grid_stencil_cdag((n, n), t)
+        lb = jacobi_lines_bound(cdag, s=s, dimensions=2).value
+        ub = spill_game_rbw(cdag, num_red=max(s, 6)).io_count
+        assert lb <= ub
+
+    def test_parallel_division(self):
+        cdag = grid_stencil_cdag((4, 4), 2)
+        seq = jacobi_lines_bound(cdag, s=4, dimensions=2, processors=1).value
+        par = jacobi_lines_bound(cdag, s=4, dimensions=2, processors=4).value
+        assert par == pytest.approx(seq / 4)
+
+    def test_guards(self):
+        cdag = grid_stencil_cdag((3,), 1)
+        with pytest.raises(ValueError):
+            jacobi_lines_bound(cdag, s=0, dimensions=1)

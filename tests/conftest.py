@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    chain_cdag,
+    diamond_cdag,
+    outer_product_cdag,
+    reduction_tree_cdag,
+)
+from repro.machine import CRAY_XT5, IBM_BGQ
+from repro.solvers import Grid
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_chain():
+    return chain_cdag(5)
+
+
+@pytest.fixture
+def small_tree():
+    return reduction_tree_cdag(8)
+
+
+@pytest.fixture
+def small_diamond():
+    return diamond_cdag(5, 4)
+
+
+@pytest.fixture
+def small_outer():
+    return outer_product_cdag(3)
+
+
+@pytest.fixture
+def grid_2d():
+    return Grid(shape=(6, 6), spacing=1.0 / 7, timestep=0.005)
+
+
+@pytest.fixture
+def grid_1d():
+    return Grid(shape=(16,), spacing=1.0 / 17, timestep=0.001)
+
+
+@pytest.fixture
+def bgq():
+    return IBM_BGQ
+
+
+@pytest.fixture
+def xt5():
+    return CRAY_XT5

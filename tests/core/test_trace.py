@@ -1,0 +1,132 @@
+"""Unit tests for the tracing executor."""
+
+import numpy as np
+import pytest
+
+from repro.core import TraceContext
+
+
+class TestTracedScalars:
+    def test_arithmetic_values(self):
+        ctx = TraceContext()
+        a = ctx.input_scalar(3.0)
+        b = ctx.input_scalar(4.0)
+        assert (a + b).value == 7.0
+        assert (a - b).value == -1.0
+        assert (a * b).value == 12.0
+        assert (a / b).value == 0.75
+        assert (-a).value == -3.0
+        assert (b.sqrt()).value == 2.0
+
+    def test_reflected_operations_with_constants(self):
+        ctx = TraceContext()
+        a = ctx.input_scalar(2.0)
+        assert (1.0 + a).value == 3.0
+        assert (1.0 - a).value == -1.0
+        assert (3.0 * a).value == 6.0
+        assert (8.0 / a).value == 4.0
+
+    def test_graph_records_operations(self):
+        ctx = TraceContext()
+        a = ctx.input_scalar(1.0)
+        b = ctx.input_scalar(2.0)
+        c = a * b + a
+        ctx.mark_output(c)
+        cdag = ctx.build()
+        assert len(cdag.inputs) == 2
+        assert len(cdag.outputs) == 1
+        assert cdag.num_vertices() == 4  # 2 inputs, mul, add
+        assert ctx.num_operations == 2
+
+    def test_constants_not_counted_as_inputs(self):
+        ctx = TraceContext()
+        a = ctx.input_scalar(1.0)
+        c = a * 5.0
+        ctx.mark_output(c)
+        cdag = ctx.build()
+        assert len(cdag.inputs) == 1
+        # the constant vertex exists but has no edge to the product
+        assert cdag.in_degree(c.vertex) == 1
+
+
+class TestTracedArrays:
+    def test_input_array_shape_and_values(self, rng):
+        ctx = TraceContext()
+        values = rng.random((3, 2))
+        arr = ctx.input_array(values)
+        assert arr.shape == (3, 2)
+        assert np.allclose(arr.values(), values)
+
+    def test_elementwise_ops(self, rng):
+        ctx = TraceContext()
+        a_vals, b_vals = rng.random(5), rng.random(5)
+        a = ctx.input_array(a_vals)
+        b = ctx.input_array(b_vals)
+        assert np.allclose((a + b).values(), a_vals + b_vals)
+        assert np.allclose((a - b).values(), a_vals - b_vals)
+        assert np.allclose((a * b).values(), a_vals * b_vals)
+        assert np.allclose(a.scale(2.5).values(), 2.5 * a_vals)
+
+    def test_shape_mismatch_raises(self, rng):
+        ctx = TraceContext()
+        a = ctx.input_array(rng.random(3))
+        b = ctx.input_array(rng.random(4))
+        with pytest.raises(ValueError):
+            _ = a + b
+
+    def test_dot_and_norm(self, rng):
+        ctx = TraceContext()
+        a_vals, b_vals = rng.random(6), rng.random(6)
+        a = ctx.input_array(a_vals)
+        b = ctx.input_array(b_vals)
+        assert np.isclose(a.dot(b).value, a_vals @ b_vals)
+        assert np.isclose(a.norm2().value, np.linalg.norm(a_vals))
+
+    def test_axpy(self, rng):
+        ctx = TraceContext()
+        x_vals, y_vals = rng.random(4), rng.random(4)
+        x = ctx.input_array(x_vals)
+        y = ctx.input_array(y_vals)
+        out = y.axpy(0.5, x)
+        assert np.allclose(out.values(), y_vals + 0.5 * x_vals)
+
+    def test_matvec(self, rng):
+        ctx = TraceContext()
+        m_vals = rng.random((3, 4))
+        x_vals = rng.random(4)
+        m = ctx.input_array(m_vals)
+        x = ctx.input_array(x_vals)
+        assert np.allclose(m.matvec(x).values(), m_vals @ x_vals)
+
+    def test_matvec_dimension_checks(self, rng):
+        ctx = TraceContext()
+        m = ctx.input_array(rng.random((3, 4)))
+        bad = ctx.input_array(rng.random(3))
+        with pytest.raises(ValueError):
+            m.matvec(bad)
+        vec = ctx.input_array(rng.random(4))
+        with pytest.raises(ValueError):
+            vec.matvec(vec)
+
+    def test_mark_output_array_tags_every_element(self, rng):
+        ctx = TraceContext()
+        a = ctx.input_array(rng.random(3))
+        b = a.scale(2.0)
+        ctx.mark_output(b)
+        cdag = ctx.build()
+        assert len(cdag.outputs) == 3
+
+    def test_traced_cdag_edges_reflect_dataflow(self):
+        ctx = TraceContext()
+        x = ctx.input_array([1.0, 2.0])
+        s = x.sum()
+        ctx.mark_output(s)
+        cdag = ctx.build()
+        # the sum vertex consumes both inputs (directly via the add chain)
+        assert cdag.in_degree(s.vertex) == 2
+
+    def test_empty_reduction_raises(self):
+        ctx = TraceContext()
+        arr = ctx.input_array(np.zeros((0,)))
+        with pytest.raises(ValueError):
+            arr.sum()

@@ -1,0 +1,43 @@
+"""Tests for the shared validation utilities."""
+
+import pytest
+
+from repro.utils import require_in_range, require_positive
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        require_positive("x", 1)
+        require_positive("x", 0.5)
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError):
+            require_positive("x", 0)
+
+    def test_accepts_zero_when_not_strict(self):
+        require_positive("x", 0, strict=False)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_positive("x", -1, strict=False)
+
+    def test_rejects_non_numbers(self):
+        with pytest.raises(ValueError):
+            require_positive("x", "three")
+
+
+class TestRequireInRange:
+    def test_accepts_bounds(self):
+        require_in_range("x", 0, 0, 10)
+        require_in_range("x", 10, 0, 10)
+        require_in_range("x", 3.5, 0, 10)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            require_in_range("x", 11, 0, 10)
+        with pytest.raises(ValueError):
+            require_in_range("x", -0.1, 0, 10)
+
+    def test_rejects_non_numbers(self):
+        with pytest.raises(ValueError):
+            require_in_range("x", None, 0, 1)

@@ -1,0 +1,119 @@
+"""Unit tests for the simulated cluster and the CDAG-level distributed executor."""
+
+import pytest
+
+from repro.bounds import (
+    cg_vertical_lower_bound,
+    jacobi_io_lower_bound,
+    stencil_horizontal_upper_bound,
+)
+from repro.core import chain_cdag, diamond_cdag, grid_stencil_cdag
+from repro.distsim import DistributedExecutor, SimulatedCluster
+
+
+class TestSimulatedClusterStencil:
+    def test_report_shape(self):
+        cluster = SimulatedCluster(num_nodes=4, cache_words=32, dimensions=2)
+        rep = cluster.run_stencil((12, 12), timesteps=3)
+        assert set(rep.horizontal_per_node) == set(range(4))
+        assert rep.total_flops > 0
+
+    def test_vertical_traffic_dominates_theorem10(self):
+        n, t, s, nodes = 16, 4, 32, 4
+        cluster = SimulatedCluster(nodes, s, 2)
+        rep = cluster.run_stencil((n, n), t)
+        lb = jacobi_io_lower_bound(n, t, s, 2, processors=nodes)
+        assert rep.max_vertical >= lb
+
+    def test_horizontal_traffic_bounded_by_ghost_formula(self):
+        n, t, nodes = 16, 5, 4
+        cluster = SimulatedCluster(nodes, 64, 2)
+        rep = cluster.run_stencil((n, n), t)
+        ub = stencil_horizontal_upper_bound(n, nodes, 2, t)
+        assert rep.max_horizontal <= ub
+
+    def test_belady_never_more_vertical_than_lru(self):
+        args = ((16, 16), 3)
+        lru = SimulatedCluster(4, 48, 2, policy="lru").run_stencil(*args)
+        opt = SimulatedCluster(4, 48, 2, policy="belady").run_stencil(*args)
+        assert opt.max_vertical <= lru.max_vertical
+
+    def test_bigger_cache_reduces_vertical_traffic(self):
+        small = SimulatedCluster(4, 16, 2).run_stencil((16, 16), 3)
+        large = SimulatedCluster(4, 256, 2).run_stencil((16, 16), 3)
+        assert large.max_vertical <= small.max_vertical
+
+    def test_intensities_positive(self):
+        rep = SimulatedCluster(4, 32, 2).run_stencil((12, 12), 2)
+        assert rep.vertical_intensity() > 0
+        assert rep.horizontal_intensity() > 0
+
+
+class TestSimulatedClusterCG:
+    def test_vertical_traffic_dominates_theorem8(self):
+        n, t, nodes, s = 16, 4, 4, 64
+        cluster = SimulatedCluster(nodes, s, 2)
+        rep = cluster.run_cg((n, n), t)
+        lb = cg_vertical_lower_bound(n, t, 2, processors=nodes)
+        assert rep.max_vertical >= lb
+
+    def test_cg_more_vertical_than_stencil_per_iteration(self):
+        cluster = SimulatedCluster(4, 64, 2)
+        cg = cluster.run_cg((16, 16), 2)
+        st = cluster.run_stencil((16, 16), 2)
+        assert cg.max_vertical > st.max_vertical
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            SimulatedCluster(0, 16, 2)
+
+
+class TestDistributedExecutor:
+    def test_single_node_has_no_horizontal_traffic(self):
+        ex = DistributedExecutor(num_nodes=1, cache_words=8)
+        rep = ex.run(diamond_cdag(6, 4))
+        assert rep.max_horizontal == 0
+        assert rep.total_computes == len(diamond_cdag(6, 4).operations)
+
+    def test_multi_node_incurs_horizontal_traffic(self):
+        ex = DistributedExecutor(num_nodes=4, cache_words=8)
+        rep = ex.run(diamond_cdag(8, 4))
+        assert rep.total_horizontal > 0
+
+    def test_vertical_traffic_counts_misses(self):
+        ex = DistributedExecutor(num_nodes=1, cache_words=2)
+        rep = ex.run(grid_stencil_cdag((6,), 3))
+        assert rep.max_vertical > 0
+
+    def test_partitioner_callable_used(self):
+        c = diamond_cdag(6, 3)
+        ex = DistributedExecutor(num_nodes=2, cache_words=16)
+        rep = ex.run(c, partitioner=lambda v: v[2] // 3)
+        assert set(rep.computes_per_node) == {0, 1}
+        assert all(n >= 0 for n in rep.computes_per_node.values())
+
+    def test_explicit_assignment_validated(self):
+        c = chain_cdag(3)
+        ex = DistributedExecutor(num_nodes=2, cache_words=8)
+        with pytest.raises(ValueError):
+            ex.run(c, assignment={("chain", 0): 0})
+        with pytest.raises(ValueError):
+            ex.run(c, assignment={v: 7 for v in c.vertices})
+
+    def test_owner_computes_inputs_free_on_owner(self):
+        c = chain_cdag(4)
+        ex = DistributedExecutor(num_nodes=2, cache_words=8)
+        rep = ex.run(c, assignment={v: 0 for v in c.vertices})
+        assert rep.horizontal_per_node[0] == 0
+
+    def test_larger_cache_reduces_vertical(self):
+        c = grid_stencil_cdag((8, 8), 2)
+        small = DistributedExecutor(2, 8).run(c)
+        large = DistributedExecutor(2, 512).run(c)
+        assert large.total_vertical <= small.total_vertical
+
+    def test_computes_partition_operations(self):
+        c = diamond_cdag(6, 4)
+        ex = DistributedExecutor(num_nodes=3, cache_words=16)
+        rep = ex.run(c)
+        assert rep.total_computes == len(c.operations)

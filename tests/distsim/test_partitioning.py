@@ -1,0 +1,99 @@
+"""Unit tests for block partitioning and ghost-shell geometry."""
+
+import pytest
+
+from repro.bounds import ghost_cell_volume
+from repro.distsim import BlockPartition, node_grid
+
+
+class TestNodeGrid:
+    def test_perfect_cube(self):
+        assert node_grid(8, 3) == (2, 2, 2)
+
+    def test_perfect_square(self):
+        assert node_grid(16, 2) == (4, 4)
+
+    def test_non_square_factorisation(self):
+        grid = node_grid(12, 2)
+        assert grid[0] * grid[1] == 12
+
+    def test_one_dimension(self):
+        assert node_grid(6, 1) == (6,)
+
+    def test_single_node(self):
+        assert node_grid(1, 3) == (1, 1, 1)
+
+    def test_prime_node_count(self):
+        grid = node_grid(7, 2)
+        assert grid[0] * grid[1] == 7
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            node_grid(0, 2)
+
+
+class TestBlockPartition:
+    def test_blocks_cover_grid_exactly(self):
+        part = BlockPartition((10, 9), (2, 3))
+        seen = set()
+        for node in part.node_ids():
+            pts = set(part.block_points(node))
+            assert not (pts & seen)
+            seen |= pts
+        assert len(seen) == 90
+
+    def test_block_sizes_balanced(self):
+        part = BlockPartition((10, 10), (3, 3))
+        sizes = [part.block_size(n) for n in part.node_ids()]
+        assert max(sizes) - min(sizes) <= 7  # (4x4) vs (3x3)
+
+    def test_owner_consistent_with_blocks(self):
+        part = BlockPartition((8, 8), (2, 2))
+        for node in part.node_ids():
+            for p in part.block_points(node):
+                assert part.owner(p) == node
+
+    def test_node_index_bijective(self):
+        part = BlockPartition((6, 6, 6), (2, 1, 3))
+        ranks = {part.node_index(n) for n in part.node_ids()}
+        assert ranks == set(range(part.num_nodes))
+
+    def test_ghost_points_adjacent_and_foreign(self):
+        part = BlockPartition((8, 8), (2, 2))
+        node = (0, 0)
+        block = set(part.block_points(node))
+        ghosts = part.ghost_points(node)
+        assert ghosts
+        for g in ghosts:
+            assert g not in block
+            assert all(0 <= g[k] < 8 for k in range(2))
+
+    def test_interior_node_ghost_volume_matches_formula(self):
+        # a 12x12 grid over 3x3 nodes: the centre node owns a 4x4 block and
+        # its ghost shell has (B+2)^2 - B^2 = 20 points
+        part = BlockPartition((12, 12), (3, 3))
+        assert part.ghost_volume((1, 1)) == int(ghost_cell_volume(4, 2))
+
+    def test_corner_node_ghost_volume_smaller(self):
+        part = BlockPartition((12, 12), (3, 3))
+        assert part.ghost_volume((0, 0)) < part.ghost_volume((1, 1))
+
+    def test_max_ghost_volume(self):
+        part = BlockPartition((12, 12), (3, 3))
+        assert part.max_ghost_volume() == part.ghost_volume((1, 1))
+
+    def test_ghost_radius_two(self):
+        part = BlockPartition((12, 12), (3, 3))
+        assert part.ghost_volume((1, 1), radius=2) > part.ghost_volume((1, 1))
+
+    def test_single_node_has_no_ghosts(self):
+        part = BlockPartition((5, 5), (1, 1))
+        assert part.ghost_volume((0, 0)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockPartition((4, 4), (2,))
+        with pytest.raises(ValueError):
+            BlockPartition((2, 2), (3, 1))
+        with pytest.raises(ValueError):
+            BlockPartition((0, 4), (1, 1))

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for cmd in ("table1", "composite", "cg", "gmres", "jacobi",
+                    "matmul", "validate", "distsim", "balance", "all"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+    def test_argument_parsing(self):
+        parser = build_parser()
+        args = parser.parse_args(["gmres", "--m", "3", "7", "--n", "50"])
+        assert args.m == [3, 7] and args.n == 50
+        args = parser.parse_args(["distsim", "--nodes", "2", "--cache", "16"])
+        assert args.nodes == 2 and args.cache == 16
+
+
+class TestExecution:
+    def test_table1_output(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "IBM BG/Q" in out and "Cray XT5" in out
+        assert "0.052" in out
+
+    def test_cg_output(self, capsys):
+        assert main(["cg", "--n", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "vertical_intensity" in out
+        assert "0.3" in out
+
+    def test_gmres_custom_m(self, capsys):
+        assert main(["gmres", "--m", "10", "--n", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "0.2" in out  # 6/(10+20)
+
+    def test_jacobi_output(self, capsys):
+        assert main(["jacobi", "--dimensions", "2", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "per_op_requirement" in out
+
+    def test_composite_output(self, capsys):
+        assert main(["composite", "--sizes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "17" in out  # 4N+1 for N=4
+
+    def test_balance_output(self, capsys):
+        assert main(["balance"]) == 0
+        out = capsys.readouterr().out
+        assert "CG" in out and "Jacobi" in out
+
+    def test_distsim_small(self, capsys):
+        assert main(["distsim", "--nodes", "2", "--cache", "32",
+                     "--side", "8", "--timesteps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "measured_vertical_max" in out

@@ -1,0 +1,137 @@
+"""Integration tests spanning multiple packages.
+
+These exercise the main end-to-end paths a user of the library follows:
+trace a real solver, derive bounds from the resulting CDAG, compare
+against pebble games and against the simulated cluster, and evaluate the
+machine-balance verdicts of the paper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    analyze_cg,
+    analyze_gmres,
+    analyze_jacobi,
+    cg_iteration_cdag,
+    traced_cg_cdag,
+)
+from repro.bounds import (
+    automated_wavefront_bound,
+    cg_vertical_lower_bound,
+    jacobi_io_lower_bound,
+    sum_of_bounds,
+)
+from repro.core import grid_stencil_cdag, min_liveset_schedule, partition_from_game
+from repro.core.partition import check_rbw_partition
+from repro.distsim import DistributedExecutor, SimulatedCluster
+from repro.machine import CRAY_XT5, IBM_BGQ
+from repro.pebbling import (
+    MemoryHierarchy,
+    parallel_spill_game,
+    spill_game_rbw,
+)
+from repro.solvers import Grid, run_heat_equation
+
+
+class TestTraceToBoundsPipeline:
+    def test_traced_cg_bound_sandwich(self):
+        """Trace real CG, compute a Lemma-2 lower bound and a spill-game
+        upper bound on its CDAG, and check the sandwich."""
+        grid = Grid(shape=(2, 2))
+        _, cdag = traced_cg_cdag(grid, iterations=1)
+        s = 6
+        lb = automated_wavefront_bound(cdag, s=s).value
+        ub = spill_game_rbw(cdag, num_red=max(s, 7)).io_count
+        assert 0 <= lb <= ub
+
+    def test_structural_and_traced_cg_have_matching_wavefront_scale(self):
+        grid = Grid(shape=(2, 2))
+        nd = grid.num_points
+        _, traced = traced_cg_cdag(grid, iterations=1)
+        structural = cg_iteration_cdag(grid.shape, 1)
+        wt = automated_wavefront_bound(traced, s=0).wavefront
+        ws = automated_wavefront_bound(structural, s=0).wavefront
+        assert wt >= 2 * nd and ws >= 2 * nd
+
+    def test_theorem1_machinery_on_traced_cdag(self):
+        grid = Grid(shape=(2, 2))
+        _, cdag = traced_cg_cdag(grid, iterations=1)
+        s = 7
+        record = spill_game_rbw(cdag, num_red=s)
+        part = partition_from_game(cdag, record.moves, s)
+        assert check_rbw_partition(cdag, part) == []
+        assert record.io_count >= s * (part.h - 1)
+
+
+class TestStencilPipelines:
+    def test_jacobi_cdag_parallel_game_and_bound(self):
+        shape, t = (4, 4), 2
+        cdag = grid_stencil_cdag(shape, t)
+        hierarchy = MemoryHierarchy.cluster(
+            nodes=2, cores_per_node=2, registers_per_core=8, cache_size=24
+        )
+        record = parallel_spill_game(cdag, hierarchy)
+        # the vertical traffic at the node memories dominates the
+        # Theorem-10 bound evaluated with the cache capacity
+        lb = jacobi_io_lower_bound(shape[0], t, 24, 2,
+                                   processors=hierarchy.num_nodes)
+        assert record.max_vertical_io_at_level(3) + record.io_count >= lb
+
+    def test_cluster_measurement_consistent_with_executor(self):
+        shape, t, nodes, cache = (12, 12), 2, 4, 48
+        cluster_rep = SimulatedCluster(nodes, cache, 2).run_stencil(shape, t)
+        cdag = grid_stencil_cdag(shape, t)
+        exec_rep = DistributedExecutor(nodes, cache).run(
+            cdag, partitioner=lambda v: 0 if v[0] != "st" else (
+                (v[2] * 2) // shape[0] * 2 + (v[3] * 2) // shape[1]
+            )
+        )
+        # both measure non-trivial vertical and horizontal traffic
+        assert cluster_rep.max_vertical > 0 and exec_rep.max_vertical > 0
+        assert cluster_rep.max_horizontal > 0 and exec_rep.total_horizontal > 0
+
+    def test_decomposition_of_stencil_over_timesteps(self):
+        # Theorem 2: summing per-timestep bounds is a valid bound for the
+        # whole CDAG; check it stays below an actual game's I/O.
+        shape, t, s = (6,), 3, 4
+        cdag = grid_stencil_cdag(shape, t)
+        per_step_bounds = []
+        for step in range(1, t + 1):
+            verts = [v for v in cdag.vertices if v[1] == step]
+            sub = cdag.induced_subgraph(verts)
+            per_step_bounds.append(
+                (f"t={step}", automated_wavefront_bound(sub, s=s).value)
+            )
+        total = sum_of_bounds(per_step_bounds).total
+        ub = spill_game_rbw(cdag, num_red=s).io_count
+        assert total <= ub
+
+
+class TestSolverToAnalysisPipeline:
+    def test_heat_run_feeds_balance_analysis(self):
+        grid = Grid(shape=(8, 8))
+        result = run_heat_equation(grid, timesteps=2, solver="cg", tol=1e-10)
+        total_cg_iterations = result.total_inner_iterations
+        assert total_cg_iterations > 0
+        analysis = analyze_cg(IBM_BGQ, n=8, dimensions=2,
+                              iterations=total_cg_iterations)
+        assert analysis.vertical_intensity == pytest.approx(0.3)
+
+    def test_paper_narrative_across_machines(self):
+        for machine in (IBM_BGQ, CRAY_XT5):
+            cg = analyze_cg(machine)
+            gmres10 = analyze_gmres(machine, krylov_iterations=10)
+            jacobi3 = analyze_jacobi(machine, dimensions=3, count_flops=True)
+            assert cg.vertical_verdict.bound
+            assert gmres10.vertical_verdict.bound
+            assert not jacobi3.vertical_verdict.bound
+            assert not cg.horizontal_verdict.bound
+            assert not gmres10.horizontal_verdict.bound
+
+    def test_cg_lower_bound_scales_with_grid_and_iterations(self):
+        small = cg_vertical_lower_bound(10, 1, 3)
+        larger_grid = cg_vertical_lower_bound(20, 1, 3)
+        more_iters = cg_vertical_lower_bound(10, 4, 3)
+        assert larger_grid == pytest.approx(8 * small)
+        assert more_iters == pytest.approx(4 * small)

@@ -1,0 +1,69 @@
+"""Unit tests for the bandwidth-bound conditions (7)-(10)."""
+
+import pytest
+
+from repro.machine import (
+    IBM_BGQ,
+    algorithm_horizontal_intensity,
+    algorithm_vertical_intensity,
+    horizontal_condition,
+    vertical_condition,
+)
+
+
+class TestIntensities:
+    def test_vertical_intensity_formula(self):
+        assert algorithm_vertical_intensity(1e6, 100, 1e9) == pytest.approx(1e-1)
+
+    def test_horizontal_intensity_formula(self):
+        assert algorithm_horizontal_intensity(5e3, 10, 1e6) == pytest.approx(0.05)
+
+    def test_guards(self):
+        with pytest.raises(ValueError):
+            algorithm_vertical_intensity(1, 0, 1)
+        with pytest.raises(ValueError):
+            algorithm_vertical_intensity(-1, 1, 1)
+        with pytest.raises(ValueError):
+            algorithm_horizontal_intensity(1, 1, 0)
+
+
+class TestVerticalCondition:
+    def test_cg_is_vertically_bound_on_bgq(self):
+        # the paper's CG numbers: LB 6 n^3 T / N_nodes per node, |V| = 20 n^3 T
+        n, t = 1000, 1
+        lb_per_node = 6 * n ** 3 * t / IBM_BGQ.num_nodes
+        verdict = vertical_condition(IBM_BGQ, lb_per_node, 20 * n ** 3 * t)
+        assert verdict.algorithm_side == pytest.approx(0.3)
+        assert verdict.machine_side == pytest.approx(0.052)
+        assert verdict.bound is True
+        assert verdict.kind == "vertical"
+        assert verdict.ratio > 1
+
+    def test_light_algorithm_not_bound(self):
+        verdict = vertical_condition(IBM_BGQ, lb_vertical_per_node=1.0,
+                                     total_flops=1e12)
+        assert verdict.bound is False
+
+    def test_custom_node_count(self):
+        v1 = vertical_condition(IBM_BGQ, 100.0, 1e6, num_nodes=10)
+        v2 = vertical_condition(IBM_BGQ, 100.0, 1e6, num_nodes=100)
+        assert v2.algorithm_side == pytest.approx(10 * v1.algorithm_side)
+
+
+class TestHorizontalCondition:
+    def test_cg_not_network_bound_on_bgq(self):
+        n, t = 1000, 1
+        b = n / IBM_BGQ.num_nodes ** (1 / 3)
+        ub = ((b + 2) ** 3 - b ** 3) * t
+        verdict = horizontal_condition(IBM_BGQ, ub, 20 * n ** 3 * t)
+        assert verdict.bound is False
+        assert verdict.kind == "horizontal"
+
+    def test_heavy_communication_flagged(self):
+        verdict = horizontal_condition(IBM_BGQ, ub_horizontal_per_node=1e9,
+                                       total_flops=1e9)
+        assert verdict.bound is True
+
+    def test_verdict_carries_machine_name(self):
+        verdict = horizontal_condition(IBM_BGQ, 1.0, 1e9)
+        assert verdict.machine == "IBM BG/Q"

@@ -1,0 +1,66 @@
+"""Unit tests for the machine catalog (Table 1)."""
+
+import pytest
+
+from repro.machine import (
+    ALL_MACHINES,
+    CRAY_XT5,
+    IBM_BGQ,
+    PAPER_MACHINES,
+    get_machine,
+)
+
+
+class TestTable1Values:
+    """The published Table 1 constants must be encoded exactly."""
+
+    def test_bgq_row(self):
+        row = IBM_BGQ.as_table_row()
+        assert row["nodes"] == 2048
+        assert row["memory_GB"] == 16
+        assert row["cache_MB"] == 32
+        assert row["vertical_balance"] == pytest.approx(0.052)
+        assert row["horizontal_balance"] == pytest.approx(0.049)
+
+    def test_xt5_row(self):
+        row = CRAY_XT5.as_table_row()
+        assert row["nodes"] == 9408
+        assert row["memory_GB"] == 16
+        assert row["cache_MB"] == 6
+        assert row["vertical_balance"] == pytest.approx(0.0256)
+        assert row["horizontal_balance"] == pytest.approx(0.058)
+
+    def test_derived_balances_consistent_with_published(self):
+        # the raw hardware numbers were chosen to reproduce the published
+        # balances; the derived values must agree to within rounding
+        for m in PAPER_MACHINES:
+            assert m.vertical_balance == pytest.approx(
+                m.published_vertical_balance, rel=0.05
+            )
+            assert m.horizontal_balance == pytest.approx(
+                m.published_horizontal_balance, rel=0.05
+            )
+
+    def test_bgq_cache_words_is_4_mwords(self):
+        # Section 5.4.3 uses S_2 = 4 MWords for the BG/Q L2
+        assert IBM_BGQ.cache_words == pytest.approx(4 * 2 ** 20)
+
+
+class TestCatalogStructure:
+    def test_paper_machines_subset_of_all(self):
+        assert set(m.name for m in PAPER_MACHINES) <= set(m.name for m in ALL_MACHINES)
+
+    def test_lookup_by_name_and_alias(self):
+        assert get_machine("IBM BG/Q") is IBM_BGQ
+        assert get_machine("bgq") is IBM_BGQ
+        assert get_machine("xt5") is CRAY_XT5
+        assert get_machine("cray xt5") is CRAY_XT5
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            get_machine("does-not-exist")
+
+    def test_all_machines_have_positive_balances(self):
+        for m in ALL_MACHINES:
+            assert m.effective_vertical_balance() > 0
+            assert m.effective_horizontal_balance() > 0

@@ -1,0 +1,83 @@
+"""Unit tests for machine specifications and balance values."""
+
+import pytest
+
+from repro.machine import WORD_BYTES, MachineSpec
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="test machine",
+        num_nodes=16,
+        cores_per_node=8,
+        memory_per_node_bytes=64 * 2 ** 30,
+        cache_per_node_bytes=32 * 2 ** 20,
+        peak_flops_per_core=10e9,
+        dram_bandwidth_bytes=80e9,
+        network_bandwidth_bytes=20e9,
+    )
+    base.update(overrides)
+    return MachineSpec(**base)
+
+
+class TestDerivedQuantities:
+    def test_total_cores(self):
+        assert make_spec().total_cores == 128
+
+    def test_cache_and_memory_words(self):
+        spec = make_spec()
+        assert spec.cache_words == 32 * 2 ** 20 / WORD_BYTES
+        assert spec.memory_words == 64 * 2 ** 30 / WORD_BYTES
+
+    def test_peak_flops(self):
+        spec = make_spec()
+        assert spec.peak_flops_per_node == 80e9
+        assert spec.peak_flops_total == 16 * 80e9
+
+    def test_vertical_balance(self):
+        spec = make_spec()
+        assert spec.vertical_balance == pytest.approx((80e9 / 8) / 80e9)
+
+    def test_horizontal_balance(self):
+        spec = make_spec()
+        assert spec.horizontal_balance == pytest.approx((20e9 / 8) / 80e9)
+
+    def test_l1_balance_optional(self):
+        assert make_spec().l1_balance is None
+        spec = make_spec(l1_bandwidth_bytes=800e9)
+        assert spec.l1_balance == pytest.approx((800e9 / 8) / 80e9)
+
+
+class TestPublishedBalances:
+    def test_effective_prefers_published(self):
+        spec = make_spec(published_vertical_balance=0.05,
+                         published_horizontal_balance=0.01)
+        assert spec.effective_vertical_balance() == 0.05
+        assert spec.effective_horizontal_balance() == 0.01
+
+    def test_effective_falls_back_to_derived(self):
+        spec = make_spec()
+        assert spec.effective_vertical_balance() == spec.vertical_balance
+        assert spec.effective_horizontal_balance() == spec.horizontal_balance
+
+
+class TestValidationAndReporting:
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            make_spec(num_nodes=0)
+        with pytest.raises(ValueError):
+            make_spec(cores_per_node=0)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            make_spec(dram_bandwidth_bytes=0)
+        with pytest.raises(ValueError):
+            make_spec(peak_flops_per_core=-1)
+
+    def test_table_row_shape(self):
+        row = make_spec().as_table_row()
+        assert row["machine"] == "test machine"
+        assert row["nodes"] == 16
+        assert row["memory_GB"] == 64
+        assert row["cache_MB"] == 32
+        assert "vertical_balance" in row and "horizontal_balance" in row

@@ -1,0 +1,111 @@
+"""Unit tests for the memory-hierarchy description."""
+
+import pytest
+
+from repro.pebbling import LevelSpec, MemoryHierarchy
+
+
+class TestLevelSpec:
+    def test_valid_level(self):
+        spec = LevelSpec(count=4, capacity=16)
+        assert spec.count == 4 and spec.capacity == 16
+
+    def test_unbounded_capacity(self):
+        assert LevelSpec(count=1, capacity=None).capacity is None
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            LevelSpec(count=0, capacity=4)
+        with pytest.raises(ValueError):
+            LevelSpec(count=1, capacity=0)
+
+
+class TestHierarchyShape:
+    def test_two_level_sequential(self):
+        h = MemoryHierarchy.two_level(num_red=8)
+        assert h.num_levels == 2
+        assert h.num_processors == 1
+        assert h.num_nodes == 1
+        assert h.capacity(1) == 8
+        assert h.capacity(2) is None
+
+    def test_cluster_shape(self):
+        h = MemoryHierarchy.cluster(
+            nodes=4, cores_per_node=8, registers_per_core=32, cache_size=1024
+        )
+        assert h.num_levels == 3
+        assert h.num_processors == 32
+        assert h.num_nodes == 4
+        assert h.instances(2) == 4
+        assert h.processors_per_instance(2) == 8
+        assert h.aggregate_capacity(1) == 32 * 32
+
+    def test_shared_memory_node(self):
+        h = MemoryHierarchy.shared_memory_node(
+            cores=4, registers_per_core=16, cache_size=256
+        )
+        assert h.num_nodes == 1
+        assert h.processors_per_instance(2) == 4
+
+    def test_counts_must_be_non_increasing(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy([LevelSpec(2, 4), LevelSpec(4, None)])
+
+    def test_counts_must_divide(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy([LevelSpec(6, 4), LevelSpec(4, None)])
+
+    def test_level_bounds_checked(self):
+        h = MemoryHierarchy.two_level(4)
+        with pytest.raises(ValueError):
+            h.capacity(0)
+        with pytest.raises(ValueError):
+            h.capacity(3)
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy([])
+
+
+class TestTreeStructure:
+    @pytest.fixture
+    def cluster(self):
+        return MemoryHierarchy.cluster(
+            nodes=2, cores_per_node=4, registers_per_core=8, cache_size=64
+        )
+
+    def test_parent_instance(self, cluster):
+        assert cluster.parent_instance(1, 0) == (2, 0)
+        assert cluster.parent_instance(1, 5) == (2, 1)
+        assert cluster.parent_instance(2, 1) == (3, 1)
+
+    def test_top_level_has_no_parent(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.parent_instance(3, 0)
+
+    def test_child_instances(self, cluster):
+        assert cluster.child_instances(2, 0) == [(1, 0), (1, 1), (1, 2), (1, 3)]
+        assert cluster.child_instances(1, 0) == []
+
+    def test_parent_child_consistency(self, cluster):
+        for level in (2, 3):
+            for idx in range(cluster.instances(level)):
+                for child in cluster.child_instances(level, idx):
+                    assert cluster.parent_instance(child[0], child[1]) == (level, idx)
+
+    def test_instance_of_processor(self, cluster):
+        assert cluster.instance_of_processor(1, 3) == (1, 3)
+        assert cluster.instance_of_processor(2, 3) == (2, 0)
+        assert cluster.instance_of_processor(3, 5) == (3, 1)
+
+    def test_processors_of_instance(self, cluster):
+        assert cluster.processors_of_instance(2, 1) == [4, 5, 6, 7]
+        assert cluster.processors_of_instance(3, 0) == [0, 1, 2, 3]
+
+    def test_processor_index_validated(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.instance_of_processor(1, 99)
+
+    def test_instance_index_validated(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.parent_instance(1, 99)

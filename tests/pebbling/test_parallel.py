@@ -1,0 +1,180 @@
+"""Unit tests for the parallel RBW pebble game engine (rules R1-R7)."""
+
+import pytest
+
+from repro.core import CDAG, chain_cdag
+from repro.pebbling import GameError, MemoryHierarchy, ParallelRBWPebbleGame
+
+
+@pytest.fixture
+def cluster():
+    return MemoryHierarchy.cluster(
+        nodes=2, cores_per_node=2, registers_per_core=4, cache_size=8
+    )
+
+
+@pytest.fixture
+def tiny_cdag():
+    return chain_cdag(2)
+
+
+class TestR1R2:
+    def test_load_places_top_level_pebble_and_white(self, cluster, tiny_cdag):
+        game = ParallelRBWPebbleGame(tiny_cdag, cluster)
+        game.load(("chain", 0), node=0)
+        assert (3, 0) in game.pebbles[("chain", 0)]
+        assert ("chain", 0) in game.white
+        assert game.record.load_count == 1
+
+    def test_load_requires_blue(self, cluster, tiny_cdag):
+        game = ParallelRBWPebbleGame(tiny_cdag, cluster)
+        with pytest.raises(GameError):
+            game.load(("chain", 1), node=0)
+
+    def test_store_requires_matching_node_pebble(self, cluster, tiny_cdag):
+        game = ParallelRBWPebbleGame(tiny_cdag, cluster)
+        game.load(("chain", 0), node=0)
+        with pytest.raises(GameError):
+            game.store(("chain", 0), node=1)
+        game.store(("chain", 0), node=0)
+        assert ("chain", 0) in game.blue
+
+
+class TestR3RemoteGet:
+    def test_remote_get_copies_between_nodes(self, cluster, tiny_cdag):
+        game = ParallelRBWPebbleGame(tiny_cdag, cluster)
+        game.load(("chain", 0), node=0)
+        game.remote_get(("chain", 0), dst_node=1, src_node=0)
+        assert (3, 1) in game.pebbles[("chain", 0)]
+        assert game.record.horizontal_io[1] == 1
+
+    def test_remote_get_requires_source_pebble(self, cluster, tiny_cdag):
+        game = ParallelRBWPebbleGame(tiny_cdag, cluster)
+        with pytest.raises(GameError):
+            game.remote_get(("chain", 0), dst_node=1, src_node=0)
+
+    def test_remote_get_same_node_rejected(self, cluster, tiny_cdag):
+        game = ParallelRBWPebbleGame(tiny_cdag, cluster)
+        game.load(("chain", 0), node=0)
+        with pytest.raises(GameError):
+            game.remote_get(("chain", 0), dst_node=0, src_node=0)
+
+
+class TestR4R5VerticalMoves:
+    def test_move_up_follows_parent_links(self, cluster, tiny_cdag):
+        game = ParallelRBWPebbleGame(tiny_cdag, cluster)
+        game.load(("chain", 0), node=0)
+        game.move_up(("chain", 0), level=2, index=0)
+        game.move_up(("chain", 0), level=1, index=0)
+        assert (1, 0) in game.pebbles[("chain", 0)]
+        # traffic accounted to the parent instance of each move
+        assert game.record.vertical_io[(3, 0)] == 1
+        assert game.record.vertical_io[(2, 0)] == 1
+
+    def test_move_up_wrong_subtree_rejected(self, cluster, tiny_cdag):
+        game = ParallelRBWPebbleGame(tiny_cdag, cluster)
+        game.load(("chain", 0), node=0)
+        # cache (2, 1) belongs to node 1, not node 0
+        with pytest.raises(GameError):
+            game.move_up(("chain", 0), level=2, index=1)
+
+    def test_move_up_level_range(self, cluster, tiny_cdag):
+        game = ParallelRBWPebbleGame(tiny_cdag, cluster)
+        game.load(("chain", 0), node=0)
+        with pytest.raises(GameError):
+            game.move_up(("chain", 0), level=3, index=0)
+
+    def test_move_down_requires_child_pebble(self, cluster, tiny_cdag):
+        game = ParallelRBWPebbleGame(tiny_cdag, cluster)
+        with pytest.raises(GameError):
+            game.move_down(("chain", 0), level=2, index=0)
+
+    def test_move_down_counts_traffic_at_target(self, cluster, tiny_cdag):
+        game = ParallelRBWPebbleGame(tiny_cdag, cluster)
+        game.load(("chain", 0), node=0)
+        game.move_up(("chain", 0), level=2, index=0)
+        game.move_up(("chain", 0), level=1, index=0)
+        game.delete(("chain", 0), 2, 0)
+        game.move_down(("chain", 0), level=2, index=0)
+        assert game.record.vertical_io[(2, 0)] == 2  # one up + one down
+
+    def test_capacity_enforced_per_instance(self, tiny_cdag):
+        h = MemoryHierarchy.cluster(
+            nodes=1, cores_per_node=1, registers_per_core=1, cache_size=8
+        )
+        c = CDAG(edges=[("a", "c"), ("b", "c")], inputs=["a", "b"], outputs=["c"])
+        game = ParallelRBWPebbleGame(c, h)
+        game.load("a", node=0)
+        game.load("b", node=0)
+        game.move_up("a", level=2, index=0)
+        game.move_up("a", level=1, index=0)
+        game.move_up("b", level=2, index=0)
+        with pytest.raises(GameError):
+            game.move_up("b", level=1, index=0)  # register file full (S_1=1)
+
+
+class TestR6Compute:
+    def test_compute_requires_level1_pebbles_of_same_processor(self, cluster, tiny_cdag):
+        game = ParallelRBWPebbleGame(tiny_cdag, cluster)
+        game.load(("chain", 0), node=0)
+        game.move_up(("chain", 0), level=2, index=0)
+        game.move_up(("chain", 0), level=1, index=0)  # processor 0's registers
+        with pytest.raises(GameError):
+            game.compute(("chain", 1), processor=1)
+        game.compute(("chain", 1), processor=0)
+        assert game.record.compute_per_processor[0] == 1
+
+    def test_compute_rejects_recomputation(self, cluster, tiny_cdag):
+        game = ParallelRBWPebbleGame(tiny_cdag, cluster)
+        game.load(("chain", 0), node=0)
+        game.move_up(("chain", 0), level=2, index=0)
+        game.move_up(("chain", 0), level=1, index=0)
+        game.compute(("chain", 1), processor=0)
+        game.delete(("chain", 1), 1, 0)
+        with pytest.raises(GameError):
+            game.compute(("chain", 1), processor=0)
+
+    def test_compute_rejects_input_vertex(self, cluster, tiny_cdag):
+        game = ParallelRBWPebbleGame(tiny_cdag, cluster)
+        with pytest.raises(GameError):
+            game.compute(("chain", 0), processor=0)
+
+    def test_unknown_processor_rejected(self, cluster, tiny_cdag):
+        game = ParallelRBWPebbleGame(tiny_cdag, cluster)
+        with pytest.raises(GameError):
+            game.compute(("chain", 1), processor=99)
+
+
+class TestR7DeleteAndCompletion:
+    def test_delete_specific_shade(self, cluster, tiny_cdag):
+        game = ParallelRBWPebbleGame(tiny_cdag, cluster)
+        game.load(("chain", 0), node=0)
+        game.move_up(("chain", 0), level=2, index=0)
+        game.delete(("chain", 0), 3, 0)
+        assert (3, 0) not in game.pebbles[("chain", 0)]
+        assert (2, 0) in game.pebbles[("chain", 0)]
+
+    def test_delete_missing_shade_rejected(self, cluster, tiny_cdag):
+        game = ParallelRBWPebbleGame(tiny_cdag, cluster)
+        with pytest.raises(GameError):
+            game.delete(("chain", 0), 1, 0)
+
+    def test_manual_complete_game(self, cluster):
+        c = chain_cdag(1)
+        game = ParallelRBWPebbleGame(c, cluster)
+        game.load(("chain", 0), node=0)
+        game.move_up(("chain", 0), level=2, index=0)
+        game.move_up(("chain", 0), level=1, index=0)
+        game.compute(("chain", 1), processor=0)
+        game.move_down(("chain", 1), level=2, index=0)
+        game.move_down(("chain", 1), level=3, index=0)
+        game.store(("chain", 1), node=0)
+        game.assert_complete()
+        assert game.record.io_count == 2
+        assert game.record.total_vertical_io == 4
+
+    def test_incomplete_game_detected(self, cluster, tiny_cdag):
+        game = ParallelRBWPebbleGame(tiny_cdag, cluster)
+        assert not game.is_complete()
+        with pytest.raises(GameError):
+            game.assert_complete()

@@ -1,0 +1,153 @@
+"""Unit tests for the Red-Blue-White pebble game engine."""
+
+import pytest
+
+from repro.core import CDAG, chain_cdag, reduction_tree_cdag
+from repro.pebbling import GameError, Move, MoveKind, RBWPebbleGame
+
+
+class TestWhitePebbleSemantics:
+    def test_compute_places_white(self, small_chain):
+        game = RBWPebbleGame(small_chain, num_red=3)
+        game.load(("chain", 0))
+        game.compute(("chain", 1))
+        assert ("chain", 1) in game.white
+
+    def test_recomputation_prohibited(self, small_chain):
+        game = RBWPebbleGame(small_chain, num_red=3)
+        game.load(("chain", 0))
+        game.compute(("chain", 1))
+        game.delete(("chain", 1))
+        with pytest.raises(GameError):
+            game.compute(("chain", 1))
+
+    def test_load_places_white(self, small_chain):
+        game = RBWPebbleGame(small_chain, num_red=3)
+        game.load(("chain", 0))
+        assert ("chain", 0) in game.white
+
+    def test_evicted_value_must_be_reloaded_from_blue(self, small_chain):
+        game = RBWPebbleGame(small_chain, num_red=3)
+        game.load(("chain", 0))
+        game.compute(("chain", 1))
+        game.store(("chain", 1))
+        game.delete(("chain", 1))
+        game.load(("chain", 1))  # legal: a blue copy exists
+        assert ("chain", 1) in game.red
+
+    def test_evicted_unstored_value_cannot_be_recovered(self, small_chain):
+        game = RBWPebbleGame(small_chain, num_red=3)
+        game.load(("chain", 0))
+        game.compute(("chain", 1))
+        game.delete(("chain", 1))
+        # no blue copy and recomputation prohibited: neither load nor
+        # compute can bring the value back
+        with pytest.raises(GameError):
+            game.load(("chain", 1))
+        with pytest.raises(GameError):
+            game.compute(("chain", 1))
+
+
+class TestFlexibleTagging:
+    def test_untagged_source_fires_without_load(self):
+        # a source vertex not tagged as input may fire directly (R3)
+        c = CDAG(edges=[("gen", "use")], inputs=[], outputs=["use"])
+        game = RBWPebbleGame(c, num_red=2)
+        game.compute("gen")
+        game.compute("use")
+        game.store("use")
+        game.assert_complete()
+        assert game.record.io_count == 1  # only the output store
+
+    def test_untagged_sink_needs_no_blue(self):
+        c = CDAG(edges=[("a", "b")], inputs=["a"], outputs=[])
+        game = RBWPebbleGame(c, num_red=2)
+        game.load("a")
+        game.compute("b")
+        game.assert_complete()
+        assert game.record.io_count == 1  # only the input load
+
+    def test_input_vertex_cannot_be_computed(self, small_chain):
+        game = RBWPebbleGame(small_chain, num_red=2)
+        with pytest.raises(GameError):
+            game.compute(("chain", 0))
+
+
+class TestCompleteness:
+    def test_complete_requires_all_whites_and_output_blues(self, small_chain):
+        game = RBWPebbleGame(small_chain, num_red=3)
+        game.load(("chain", 0))
+        for i in range(1, 6):
+            game.compute(("chain", i))
+            game.delete(("chain", i - 1))
+        assert not game.is_complete()  # output not stored yet
+        game.store(("chain", 5))
+        assert game.is_complete()
+
+    def test_unused_input_does_not_block_completion(self):
+        c = CDAG(
+            vertices=["lonely"],
+            edges=[("a", "b")],
+            inputs=["a", "lonely"],
+            outputs=["b"],
+        )
+        game = RBWPebbleGame(c, num_red=2)
+        game.load("a")
+        game.compute("b")
+        game.store("b")
+        # "lonely" has no successors; it never needs a white pebble
+        assert game.is_complete()
+
+    def test_assert_complete_reports_unfired(self, small_chain):
+        game = RBWPebbleGame(small_chain, num_red=2)
+        with pytest.raises(GameError, match="unfired"):
+            game.assert_complete()
+
+
+class TestCostAccounting:
+    def test_io_counts_loads_and_stores_only(self, small_chain):
+        game = RBWPebbleGame(small_chain, num_red=3)
+        game.load(("chain", 0))
+        game.compute(("chain", 1))
+        game.delete(("chain", 0))
+        assert game.record.io_count == 1
+        assert game.record.compute_count == 1
+        assert game.record.counts[MoveKind.DELETE] == 1
+
+    def test_summary_keys(self, small_chain):
+        game = RBWPebbleGame(small_chain, num_red=3)
+        game.load(("chain", 0))
+        s = game.record.summary()
+        assert s["io"] == 1 and s["loads"] == 1 and s["stores"] == 0
+
+    def test_replay_full_game(self):
+        c = chain_cdag(2)
+        moves = [
+            Move(MoveKind.LOAD, ("chain", 0)),
+            Move(MoveKind.COMPUTE, ("chain", 1)),
+            Move(MoveKind.DELETE, ("chain", 0)),
+            Move(MoveKind.COMPUTE, ("chain", 2)),
+            Move(MoveKind.STORE, ("chain", 2)),
+        ]
+        record = RBWPebbleGame(c, num_red=2).replay(moves)
+        assert record.io_count == 2
+
+    def test_replay_rejects_parallel_move_kinds(self):
+        c = chain_cdag(1)
+        game = RBWPebbleGame(c, num_red=2)
+        with pytest.raises(GameError):
+            game.replay([Move(MoveKind.MOVE_UP, ("chain", 0))])
+
+
+class TestBudget:
+    def test_red_budget_enforced(self):
+        c = reduction_tree_cdag(4)
+        game = RBWPebbleGame(c, num_red=2)
+        game.load(("reduce", 0, 0))
+        game.load(("reduce", 0, 1))
+        with pytest.raises(GameError):
+            game.compute(("reduce", 1, 0))  # would need a third pebble
+
+    def test_minimum_one_pebble(self, small_chain):
+        with pytest.raises(ValueError):
+            RBWPebbleGame(small_chain, num_red=0)

@@ -1,0 +1,155 @@
+"""Unit tests for the Hong-Kung red-blue pebble game engine."""
+
+import pytest
+
+from repro.core import chain_cdag, reduction_tree_cdag
+from repro.pebbling import GameError, Move, MoveKind, RedBluePebbleGame
+
+
+class TestInitialState:
+    def test_inputs_start_blue(self, small_chain):
+        game = RedBluePebbleGame(small_chain, num_red=2)
+        assert game.blue == set(small_chain.inputs)
+        assert game.red == set()
+
+    def test_requires_at_least_one_pebble(self, small_chain):
+        with pytest.raises(ValueError):
+            RedBluePebbleGame(small_chain, num_red=0)
+
+    def test_strict_mode_enforces_hong_kung_tags(self):
+        from repro.core import CDAG
+
+        c = CDAG(edges=[("a", "b")])  # untagged
+        with pytest.raises(Exception):
+            RedBluePebbleGame(c, num_red=2, strict=True)
+        RedBluePebbleGame(c, num_red=2, strict=False)
+
+
+class TestRules:
+    def test_load_requires_blue(self, small_chain):
+        game = RedBluePebbleGame(small_chain, num_red=2)
+        with pytest.raises(GameError):
+            game.load(("chain", 1))
+
+    def test_load_places_red(self, small_chain):
+        game = RedBluePebbleGame(small_chain, num_red=2)
+        game.load(("chain", 0))
+        assert ("chain", 0) in game.red
+        assert game.record.load_count == 1
+
+    def test_double_load_rejected(self, small_chain):
+        game = RedBluePebbleGame(small_chain, num_red=2)
+        game.load(("chain", 0))
+        with pytest.raises(GameError):
+            game.load(("chain", 0))
+
+    def test_store_requires_red(self, small_chain):
+        game = RedBluePebbleGame(small_chain, num_red=2)
+        with pytest.raises(GameError):
+            game.store(("chain", 1))
+
+    def test_compute_requires_red_predecessors(self, small_chain):
+        game = RedBluePebbleGame(small_chain, num_red=2)
+        with pytest.raises(GameError):
+            game.compute(("chain", 1))
+
+    def test_compute_rejects_input_vertex(self, small_chain):
+        game = RedBluePebbleGame(small_chain, num_red=2)
+        with pytest.raises(GameError):
+            game.compute(("chain", 0))
+
+    def test_recomputation_allowed(self, small_chain):
+        game = RedBluePebbleGame(small_chain, num_red=3)
+        game.load(("chain", 0))
+        game.compute(("chain", 1))
+        game.delete(("chain", 1))
+        game.compute(("chain", 1))  # legal in the red-blue game
+        assert game.record.compute_count == 2
+
+    def test_delete_requires_red(self, small_chain):
+        game = RedBluePebbleGame(small_chain, num_red=2)
+        with pytest.raises(GameError):
+            game.delete(("chain", 0))
+
+    def test_red_pebble_budget_enforced(self, small_chain):
+        game = RedBluePebbleGame(small_chain, num_red=1)
+        game.load(("chain", 0))
+        with pytest.raises(GameError):
+            game.compute(("chain", 1))
+
+    def test_peak_red_tracked(self, small_chain):
+        game = RedBluePebbleGame(small_chain, num_red=3)
+        game.load(("chain", 0))
+        game.compute(("chain", 1))
+        assert game.record.peak_red == 2
+
+
+class TestCompleteGames:
+    def play_chain(self, length, num_red=2):
+        cdag = chain_cdag(length)
+        game = RedBluePebbleGame(cdag, num_red=num_red)
+        game.load(("chain", 0))
+        for i in range(1, length + 1):
+            game.compute(("chain", i))
+            game.delete(("chain", i - 1))
+        game.store(("chain", length))
+        return game
+
+    def test_chain_minimal_io_is_two(self):
+        game = self.play_chain(6)
+        game.assert_complete()
+        assert game.record.io_count == 2
+
+    def test_incomplete_game_detected(self, small_chain):
+        game = RedBluePebbleGame(small_chain, num_red=2)
+        assert not game.is_complete()
+        with pytest.raises(GameError):
+            game.assert_complete()
+
+    def test_replay_validates_and_counts(self):
+        cdag = chain_cdag(2)
+        moves = [
+            Move(MoveKind.LOAD, ("chain", 0)),
+            Move(MoveKind.COMPUTE, ("chain", 1)),
+            Move(MoveKind.DELETE, ("chain", 0)),
+            Move(MoveKind.COMPUTE, ("chain", 2)),
+            Move(MoveKind.STORE, ("chain", 2)),
+        ]
+        game = RedBluePebbleGame(cdag, num_red=2)
+        record = game.replay(moves)
+        assert record.io_count == 2
+        assert record.compute_count == 2
+
+    def test_replay_rejects_invalid_sequence(self):
+        cdag = chain_cdag(2)
+        moves = [Move(MoveKind.COMPUTE, ("chain", 1))]
+        game = RedBluePebbleGame(cdag, num_red=2)
+        with pytest.raises(GameError):
+            game.replay(moves)
+
+    def test_replay_rejects_foreign_move_kind(self):
+        cdag = chain_cdag(1)
+        game = RedBluePebbleGame(cdag, num_red=2)
+        with pytest.raises(GameError):
+            game.replay([Move(MoveKind.REMOTE_GET, ("chain", 0))])
+
+    def test_reduction_tree_complete_game_io(self):
+        cdag = reduction_tree_cdag(4)
+        # 4 pebbles: the classic requirement for a depth-2 binary tree
+        # without spilling (hold one subtree root while reducing the other).
+        game = RedBluePebbleGame(cdag, num_red=4)
+        # pebble leaves two at a time, reduce bottom-up, storing only the root
+        game.load(("reduce", 0, 0))
+        game.load(("reduce", 0, 1))
+        game.compute(("reduce", 1, 0))
+        game.delete(("reduce", 0, 0))
+        game.delete(("reduce", 0, 1))
+        game.load(("reduce", 0, 2))
+        game.load(("reduce", 0, 3))
+        game.compute(("reduce", 1, 1))
+        game.delete(("reduce", 0, 2))
+        game.delete(("reduce", 0, 3))
+        game.compute(("reduce", 2, 0))
+        game.store(("reduce", 2, 0))
+        game.assert_complete()
+        assert game.record.io_count == 5  # 4 loads + 1 store

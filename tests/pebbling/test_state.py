@@ -1,0 +1,61 @@
+"""Unit tests for the move/record bookkeeping shared by the game engines."""
+
+import pytest
+
+from repro.pebbling import GameRecord, Move, MoveKind
+
+
+class TestMove:
+    def test_io_classification(self):
+        assert Move(MoveKind.LOAD, "v").is_io()
+        assert Move(MoveKind.STORE, "v").is_io()
+        assert not Move(MoveKind.COMPUTE, "v").is_io()
+        assert not Move(MoveKind.DELETE, "v").is_io()
+        assert not Move(MoveKind.REMOTE_GET, "v").is_io()
+
+    def test_moves_are_immutable(self):
+        m = Move(MoveKind.LOAD, "v")
+        with pytest.raises(Exception):
+            m.vertex = "w"  # frozen dataclass
+
+
+class TestGameRecord:
+    def test_append_updates_counts(self):
+        rec = GameRecord()
+        rec.append(Move(MoveKind.LOAD, "a"))
+        rec.append(Move(MoveKind.LOAD, "b"))
+        rec.append(Move(MoveKind.STORE, "a"))
+        rec.append(Move(MoveKind.COMPUTE, "c"))
+        assert rec.io_count == 3
+        assert rec.load_count == 2
+        assert rec.store_count == 1
+        assert rec.compute_count == 1
+        assert len(rec.moves) == 4
+
+    def test_vertical_and_horizontal_aggregates(self):
+        rec = GameRecord()
+        rec.vertical_io[(2, 0)] = 5
+        rec.vertical_io[(2, 1)] = 9
+        rec.vertical_io[(3, 0)] = 2
+        rec.horizontal_io[0] = 4
+        rec.horizontal_io[1] = 7
+        assert rec.total_vertical_io == 16
+        assert rec.total_horizontal_io == 11
+        assert rec.max_vertical_io_at_level(2) == 9
+        assert rec.max_vertical_io_at_level(3) == 2
+        assert rec.max_vertical_io_at_level(4) == 0
+        assert rec.max_horizontal_io() == 7
+
+    def test_empty_record_defaults(self):
+        rec = GameRecord()
+        assert rec.io_count == 0
+        assert rec.max_horizontal_io() == 0
+        assert rec.max_vertical_io_at_level(1) == 0
+        summary = rec.summary()
+        assert summary["moves"] == 0 and summary["io"] == 0
+
+    def test_summary_keys_complete(self):
+        rec = GameRecord()
+        expected = {"moves", "io", "loads", "stores", "computes", "peak_red",
+                    "vertical_io", "horizontal_io"}
+        assert set(rec.summary()) == expected

@@ -1,0 +1,118 @@
+"""Property-based tests for the cache simulator and the numerical solvers."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.distsim import simulate_trace
+from repro.solvers import (
+    CSRMatrix,
+    Grid,
+    StencilOperator,
+    conjugate_gradient,
+    gmres,
+    stencil_sweeps,
+    thomas_solve,
+    build_tridiagonal,
+)
+
+
+# ----------------------------------------------------------------------
+# Cache simulator invariants
+# ----------------------------------------------------------------------
+traces = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=30), st.booleans()),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(traces, st.integers(min_value=1, max_value=16))
+@settings(max_examples=60, deadline=None)
+def test_cache_accounting_invariants(trace, capacity):
+    stats = simulate_trace(trace, capacity_words=capacity, policy="lru")
+    assert stats.hits + stats.misses == stats.accesses == len(trace)
+    distinct = len({a for a, _ in trace})
+    assert stats.misses >= min(distinct, 1)
+    # cold misses: at least one per distinct address
+    assert stats.misses >= distinct if capacity >= distinct else True
+    writes = sum(1 for _, w in trace if w)
+    assert stats.writebacks <= writes
+
+
+@given(traces, st.integers(min_value=1, max_value=16))
+@settings(max_examples=60, deadline=None)
+def test_belady_is_optimal_relative_to_lru(trace, capacity):
+    lru = simulate_trace(trace, capacity_words=capacity, policy="lru")
+    opt = simulate_trace(trace, capacity_words=capacity, policy="belady")
+    assert opt.misses <= lru.misses
+
+
+@given(traces, st.integers(min_value=1, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_bigger_cache_never_increases_lru_misses(trace, capacity):
+    small = simulate_trace(trace, capacity_words=capacity, policy="lru")
+    # LRU is a stack algorithm: inclusion property guarantees monotonicity
+    big = simulate_trace(trace, capacity_words=capacity * 2, policy="lru")
+    assert big.misses <= small.misses
+
+
+# ----------------------------------------------------------------------
+# Solver invariants
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=2, max_value=9), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=30, deadline=None)
+def test_cg_and_gmres_solve_random_spd_systems(n, seed):
+    rng = np.random.default_rng(seed)
+    m = rng.random((n, n))
+    a = m @ m.T + n * np.eye(n)  # SPD, well conditioned
+    x_true = rng.random(n)
+    b = a @ x_true
+    xc = conjugate_gradient(a, b, tol=1e-12).x
+    xg = gmres(a, b, tol=1e-12).x
+    assert np.allclose(xc, x_true, atol=1e-6)
+    assert np.allclose(xg, x_true, atol=1e-6)
+
+
+@given(st.integers(min_value=2, max_value=20), st.integers(min_value=0, max_value=500))
+@settings(max_examples=40, deadline=None)
+def test_thomas_solver_matches_dense_solve(n, seed):
+    rng = np.random.default_rng(seed)
+    lo, di, up = build_tridiagonal(n, -1.0, 3.0 + rng.random(), -1.0)
+    b = rng.random(n)
+    dense = np.diag(di) + np.diag(lo[1:], -1) + np.diag(up[:-1], 1)
+    assert np.allclose(thomas_solve(lo, di, up, b), np.linalg.solve(dense, b),
+                       atol=1e-8)
+
+
+@given(st.integers(min_value=3, max_value=12), st.integers(min_value=0, max_value=100))
+@settings(max_examples=30, deadline=None)
+def test_csr_matvec_matches_dense(n, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n, n))
+    dense[dense < 0.5] = 0.0
+    x = rng.random(n)
+    assert np.allclose(CSRMatrix.from_dense(dense).matvec(x), dense @ x)
+
+
+@given(st.integers(min_value=4, max_value=16), st.integers(min_value=1, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_stencil_sweep_is_linear_and_bounded(n, steps):
+    g = Grid(shape=(n,), spacing=1.0 / (n + 1), timestep=0.4 * (1.0 / (n + 1)) ** 2)
+    u0 = g.initial_condition()
+    u = stencil_sweeps(g, u0, steps)
+    # explicit heat update with a stable timestep: max-norm cannot grow
+    assert np.max(np.abs(u)) <= np.max(np.abs(u0)) + 1e-12
+    # linearity: sweeping 2*u0 gives twice the result
+    u2 = stencil_sweeps(g, 2 * u0, steps)
+    assert np.allclose(u2, 2 * u, atol=1e-10)
+
+
+@given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=50))
+@settings(max_examples=20, deadline=None)
+def test_stencil_operator_symmetry_random_vectors(n, seed):
+    rng = np.random.default_rng(seed)
+    g = Grid(shape=(n, n))
+    op = StencilOperator(g)
+    x, y = rng.random(g.num_points), rng.random(g.num_points)
+    # <Ax, y> == <x, Ay> for the symmetric heat operator
+    assert np.isclose(op.matvec(x) @ y, x @ op.matvec(y))

@@ -1,0 +1,123 @@
+"""Property-based tests (hypothesis) for the CDAG core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    CDAG,
+    diamond_cdag,
+    grid_stencil_cdag,
+    in_set,
+    min_liveset_schedule,
+    minimum_set,
+    out_set,
+    reduction_tree_cdag,
+    schedule_wavefronts,
+    topological_schedule,
+    validate_schedule,
+)
+
+
+# ----------------------------------------------------------------------
+# Random-DAG generator: edges only from lower to higher indices, so the
+# result is always acyclic.
+# ----------------------------------------------------------------------
+@st.composite
+def random_dags(draw, max_vertices=12):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    edge_flags = draw(
+        st.lists(
+            st.booleans(),
+            min_size=n * (n - 1) // 2,
+            max_size=n * (n - 1) // 2,
+        )
+    )
+    edges = []
+    k = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if edge_flags[k]:
+                edges.append((i, j))
+            k += 1
+    cdag = CDAG(vertices=range(n), edges=edges)
+    for v in cdag.sources():
+        cdag.tag_input(v)
+    for v in cdag.sinks():
+        cdag.tag_output(v)
+    return cdag
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_topological_order_is_always_valid(cdag):
+    order = cdag.topological_order()
+    validate_schedule(cdag, order)
+    assert len(order) == cdag.num_vertices()
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_hong_kung_tagging_always_validates(cdag):
+    cdag.validate(hong_kung=True)
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_ancestors_and_descendants_are_consistent(cdag):
+    for v in cdag.vertices:
+        for a in cdag.ancestors(v):
+            assert v in cdag.descendants(a)
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_induced_subgraph_never_gains_edges(cdag):
+    half = cdag.vertices[: max(1, cdag.num_vertices() // 2)]
+    sub = cdag.induced_subgraph(half)
+    assert sub.num_edges() <= cdag.num_edges()
+    for u, v in sub.edges():
+        assert cdag.has_edge(u, v)
+
+
+@given(random_dags(), st.integers(min_value=0, max_value=11))
+@settings(max_examples=60, deadline=None)
+def test_in_out_min_set_relations(cdag, seed):
+    # pick a deterministic pseudo-random subset of operations
+    ops = cdag.operations
+    subset = {v for i, v in enumerate(ops) if (i * 7 + seed) % 3 == 0}
+    inset = in_set(cdag, subset)
+    outset = out_set(cdag, subset)
+    minset = minimum_set(cdag, subset)
+    # In(V_i) is disjoint from V_i; Out and Min are subsets of V_i
+    assert not (inset & subset)
+    assert outset <= subset
+    assert minset <= subset
+    # every Min vertex with no successor outside must be a sink or all its
+    # successors are outside by definition
+    for v in minset:
+        assert all(s not in subset for s in cdag.successors(v))
+
+
+@given(random_dags())
+@settings(max_examples=40, deadline=None)
+def test_schedule_wavefronts_bounded_by_vertex_count(cdag):
+    sched = topological_schedule(cdag)
+    sizes = schedule_wavefronts(cdag, sched)
+    assert all(1 <= s <= cdag.num_vertices() for s in sizes)
+
+
+@given(random_dags())
+@settings(max_examples=40, deadline=None)
+def test_min_liveset_schedule_is_valid(cdag):
+    sched = min_liveset_schedule(cdag)
+    validate_schedule(cdag, sched)
+
+
+@given(st.integers(min_value=2, max_value=16), st.integers(min_value=2, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_structured_builders_scale_consistently(width, depth):
+    d = diamond_cdag(width, depth)
+    assert d.num_vertices() == width * depth
+    tree = reduction_tree_cdag(width)
+    assert len(tree.inputs) == width
+    stencil = grid_stencil_cdag((width,), depth - 1)
+    assert stencil.num_vertices() == width * depth

@@ -1,0 +1,108 @@
+"""Property-based tests for the pebble games and bounds (soundness invariants)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bounds import automated_wavefront_bound, lower_bound_from_largest_subset
+from repro.core import (
+    CDAG,
+    check_rbw_partition,
+    diamond_cdag,
+    greedy_rbw_partition,
+    independent_chains_cdag,
+    partition_from_game,
+    reduction_tree_cdag,
+)
+from repro.pebbling import spill_game_rbw, spill_game_redblue
+
+
+@st.composite
+def layered_dags(draw):
+    """Random layered DAGs: every vertex in layer k reads 1-3 vertices of
+    layer k-1 (always well-formed, bounded fan-in, Hong-Kung taggable)."""
+    num_layers = draw(st.integers(min_value=2, max_value=4))
+    widths = [draw(st.integers(min_value=1, max_value=5)) for _ in range(num_layers)]
+    edges = []
+    for layer in range(1, num_layers):
+        for i in range(widths[layer]):
+            fan = draw(st.integers(min_value=1, max_value=min(3, widths[layer - 1])))
+            preds = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=widths[layer - 1] - 1),
+                    min_size=fan,
+                    max_size=fan,
+                    unique=True,
+                )
+            )
+            for p in preds:
+                edges.append(((layer - 1, p), (layer, i)))
+    vertices = [(l, i) for l in range(num_layers) for i in range(widths[l])]
+    cdag = CDAG(vertices=vertices, edges=edges)
+    for v in cdag.sources():
+        cdag.tag_input(v)
+    for v in cdag.sinks():
+        cdag.tag_output(v)
+    return cdag
+
+
+@given(layered_dags(), st.integers(min_value=4, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_spill_game_is_always_a_complete_valid_game(cdag, s):
+    record = spill_game_rbw(cdag, num_red=s)
+    # every operation fired exactly once; every used input loaded at least once
+    assert record.compute_count == len(cdag.operations)
+    used_inputs = {v for v in cdag.inputs if cdag.out_degree(v) > 0}
+    assert record.load_count >= len(used_inputs)
+    # outputs that are also inputs already hold a blue pebble and need no store
+    computed_outputs = set(cdag.outputs) - set(cdag.inputs)
+    assert record.store_count >= len(computed_outputs)
+    assert record.peak_red <= s
+
+
+@given(layered_dags(), st.integers(min_value=4, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_wavefront_lower_bound_below_any_game(cdag, s):
+    lb = automated_wavefront_bound(cdag, s=s).value
+    ub = spill_game_rbw(cdag, num_red=s).io_count
+    assert lb <= ub
+
+
+@given(layered_dags(), st.integers(min_value=4, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_theorem1_partition_from_any_game_is_valid(cdag, s):
+    record = spill_game_rbw(cdag, num_red=s)
+    part = partition_from_game(cdag, record.moves, s)
+    assert check_rbw_partition(cdag, part) == []
+    assert record.io_count >= s * (part.h - 1)
+
+
+@given(layered_dags(), st.integers(min_value=4, max_value=8))
+@settings(max_examples=30, deadline=None)
+def test_redblue_and_rbw_strategies_agree_without_recomputation(cdag, s):
+    # the spill strategy never recomputes, so both engines accept the same
+    # plan and count the same I/O
+    assert (
+        spill_game_redblue(cdag, s).io_count == spill_game_rbw(cdag, s).io_count
+    )
+
+
+@given(st.integers(min_value=2, max_value=6), st.integers(min_value=4, max_value=10))
+@settings(max_examples=30, deadline=None)
+def test_greedy_partition_valid_on_structured_cdags(width, s):
+    for cdag in (
+        diamond_cdag(width, 3),
+        reduction_tree_cdag(width),
+        independent_chains_cdag(2, width),
+    ):
+        part = greedy_rbw_partition(cdag, s)
+        assert check_rbw_partition(cdag, part) == []
+
+
+@given(st.integers(min_value=1, max_value=200), st.integers(min_value=1, max_value=64),
+       st.integers(min_value=1, max_value=500))
+@settings(max_examples=60, deadline=None)
+def test_corollary1_bound_never_negative_and_monotone(num_ops, s, u):
+    b = lower_bound_from_largest_subset(s, num_ops, u)
+    assert b.value >= 0
+    # doubling U can only weaken the bound
+    weaker = lower_bound_from_largest_subset(s, num_ops, 2 * u)
+    assert weaker.value <= b.value

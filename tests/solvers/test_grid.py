@@ -1,0 +1,103 @@
+"""Unit tests for the grid / heat-equation discretization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.solvers import Grid
+
+
+class TestConstruction:
+    def test_defaults(self):
+        g = Grid(shape=(10,))
+        assert g.ndim == 1
+        assert g.num_points == 10
+        assert g.spacing == pytest.approx(1.0 / 11)
+        assert g.timestep > 0
+
+    def test_explicit_parameters(self):
+        g = Grid(shape=(4, 5), spacing=0.1, timestep=0.002, diffusivity=2.0)
+        assert g.num_points == 20
+        assert g.mesh_ratio == pytest.approx(2.0 * 0.002 / 0.01)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            Grid(shape=())
+        with pytest.raises(ValueError):
+            Grid(shape=(0, 3))
+
+    def test_invalid_scalars(self):
+        with pytest.raises(ValueError):
+            Grid(shape=(3,), spacing=-1.0)
+        with pytest.raises(ValueError):
+            Grid(shape=(3,), timestep=0.0)
+
+
+class TestIndexing:
+    def test_ravel_unravel_roundtrip(self):
+        g = Grid(shape=(3, 4, 5))
+        for idx in [(0, 0, 0), (2, 3, 4), (1, 2, 3)]:
+            assert g.unravel(g.ravel(idx)) == idx
+
+    def test_points_enumeration(self):
+        g = Grid(shape=(2, 3))
+        pts = list(g.points())
+        assert len(pts) == 6
+        assert (1, 2) in pts
+
+    def test_neighbors_interior_and_boundary(self):
+        g = Grid(shape=(3, 3))
+        assert len(g.neighbors((1, 1))) == 4
+        assert len(g.neighbors((0, 0))) == 2
+        assert len(g.neighbors((0, 1))) == 3
+
+    def test_coordinates(self):
+        g = Grid(shape=(4,), spacing=0.2)
+        assert g.coordinates((0,)) == (pytest.approx(0.2),)
+        assert g.coordinates((3,)) == (pytest.approx(0.8),)
+
+
+class TestHeatEquationPieces:
+    def test_initial_condition_is_sine(self):
+        g = Grid(shape=(9,), spacing=0.1)
+        u0 = g.initial_condition()
+        x = (np.arange(9) + 1) * 0.1
+        assert np.allclose(u0, np.sin(math.pi * x))
+
+    def test_exact_solution_decays(self):
+        g = Grid(shape=(9,), spacing=0.1)
+        early = g.exact_solution(0.0)
+        late = g.exact_solution(0.1)
+        assert np.all(np.abs(late) <= np.abs(early) + 1e-15)
+
+    def test_implicit_rhs_1d_matches_paper_formula(self):
+        g = Grid(shape=(5,), spacing=0.1, timestep=0.004)
+        a = g.mesh_ratio
+        u = np.arange(1.0, 6.0)
+        rhs = g.implicit_rhs(u)
+        # interior point i: a/2 u[i-1] + (1 - a) u[i] + a/2 u[i+1]
+        i = 2
+        expected = 0.5 * a * u[i - 1] + (1 - a) * u[i] + 0.5 * a * u[i + 1]
+        assert rhs[i] == pytest.approx(expected)
+
+    def test_implicit_rhs_respects_zero_boundaries(self):
+        g = Grid(shape=(4,), spacing=0.2, timestep=0.004)
+        a = g.mesh_ratio
+        u = np.ones(4)
+        rhs = g.implicit_rhs(u)
+        assert rhs[0] == pytest.approx(0.5 * a * 0 + (1 - a) + 0.5 * a)
+
+    def test_implicit_matrix_diagonals(self):
+        g = Grid(shape=(5, 5), spacing=0.1, timestep=0.002)
+        diag, off = g.implicit_matrix_diagonals()
+        a = g.mesh_ratio
+        assert diag == pytest.approx(1 + 2 * a)
+        assert off == pytest.approx(-a / 2)
+
+    def test_2d_initial_condition_separable(self):
+        g = Grid(shape=(3, 3), spacing=0.25)
+        u = g.initial_condition().reshape(3, 3)
+        x = (np.arange(3) + 1) * 0.25
+        expected = np.outer(np.sin(math.pi * x), np.sin(math.pi * x))
+        assert np.allclose(u, expected)

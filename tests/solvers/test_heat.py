@@ -1,0 +1,65 @@
+"""Integration tests for the heat-equation timestepping driver."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import Grid, run_heat_equation
+
+
+class TestHeatDriver:
+    def test_all_solvers_agree_in_1d(self, grid_1d):
+        results = {
+            name: run_heat_equation(grid_1d, 4, solver=name, tol=1e-12)
+            for name in ("cg", "gmres", "jacobi", "thomas")
+        }
+        ref = results["thomas"].solution
+        for name, res in results.items():
+            assert np.allclose(res.solution, ref, atol=1e-7), name
+
+    def test_cg_and_gmres_agree_in_2d(self, grid_2d):
+        cg = run_heat_equation(grid_2d, 3, solver="cg", tol=1e-12)
+        gm = run_heat_equation(grid_2d, 3, solver="gmres", tol=1e-12)
+        assert np.allclose(cg.solution, gm.solution, atol=1e-8)
+
+    def test_solution_approaches_exact_decay(self):
+        g = Grid(shape=(40,), spacing=1 / 41, timestep=5e-5)
+        steps = 20
+        res = run_heat_equation(g, steps, solver="cg", tol=1e-12)
+        exact = g.exact_solution(steps * g.timestep)
+        rel_err = np.linalg.norm(res.solution - exact) / np.linalg.norm(exact)
+        assert rel_err < 1e-3
+
+    def test_energy_decays_monotonically(self, grid_2d):
+        u = grid_2d.initial_condition()
+        norms = [np.linalg.norm(u)]
+        for _ in range(3):
+            res = run_heat_equation(grid_2d, 1, solver="cg", u0=u, tol=1e-12)
+            u = res.solution
+            norms.append(np.linalg.norm(u))
+        assert all(b < a for a, b in zip(norms, norms[1:]))
+
+    def test_iteration_counts_recorded(self, grid_2d):
+        res = run_heat_equation(grid_2d, 3, solver="cg", tol=1e-10)
+        assert len(res.solver_iterations) == 3
+        assert res.total_inner_iterations >= 3
+
+    def test_thomas_requires_1d(self, grid_2d):
+        with pytest.raises(ValueError):
+            run_heat_equation(grid_2d, 1, solver="thomas")
+
+    def test_unknown_solver(self, grid_1d):
+        with pytest.raises(ValueError):
+            run_heat_equation(grid_1d, 1, solver="multigrid")
+
+    def test_custom_initial_condition(self, grid_1d, rng):
+        u0 = rng.random(grid_1d.num_points)
+        res = run_heat_equation(grid_1d, 1, solver="thomas", u0=u0)
+        assert res.solution.shape == u0.shape
+
+    def test_wrong_initial_condition_size(self, grid_1d):
+        with pytest.raises(ValueError):
+            run_heat_equation(grid_1d, 1, u0=np.zeros(3))
+
+    def test_zero_timesteps(self, grid_1d):
+        res = run_heat_equation(grid_1d, 0, solver="cg")
+        assert np.allclose(res.solution, grid_1d.initial_condition())

@@ -1,0 +1,136 @@
+"""Unit tests for the Jacobi solver, stencil sweeps and the Thomas solver."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import (
+    Grid,
+    StencilOperator,
+    build_tridiagonal,
+    heat_tridiagonal,
+    jacobi_solve,
+    stencil_flops,
+    stencil_sweeps,
+    thomas_solve,
+    tiled_sweep_io_estimate,
+)
+
+
+class TestJacobiSolver:
+    def test_solves_diagonally_dominant_system(self, grid_2d, rng):
+        op = StencilOperator(grid_2d)
+        x_true = rng.random(grid_2d.num_points)
+        b = op.matvec(x_true)
+        res = jacobi_solve(op, b, tol=1e-12, max_iterations=5000)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-8)
+
+    def test_damping_still_converges(self, grid_1d, rng):
+        op = StencilOperator(grid_1d)
+        b = rng.random(grid_1d.num_points)
+        res = jacobi_solve(op, b, tol=1e-10, damping=0.8, max_iterations=20000)
+        assert res.converged
+
+    def test_zero_diagonal_rejected(self):
+        a = np.array([[0.0, 1.0], [1.0, 2.0]])
+        with pytest.raises(ValueError):
+            jacobi_solve(a, np.ones(2))
+
+    def test_iteration_cap(self, grid_2d, rng):
+        op = StencilOperator(grid_2d)
+        b = rng.random(grid_2d.num_points)
+        res = jacobi_solve(op, b, tol=1e-16, max_iterations=3)
+        assert not res.converged
+        assert res.iterations == 3
+
+    def test_residuals_decrease(self, grid_2d, rng):
+        op = StencilOperator(grid_2d)
+        b = rng.random(grid_2d.num_points)
+        res = jacobi_solve(op, b, tol=1e-12, max_iterations=2000)
+        assert res.residual_norms[-1] < res.residual_norms[0]
+
+
+class TestStencilSweeps:
+    def test_star_sweep_preserves_shape(self, grid_2d):
+        u0 = grid_2d.initial_condition()
+        u1 = stencil_sweeps(grid_2d, u0, 3)
+        assert u1.shape == u0.shape
+
+    def test_zero_timesteps_is_identity(self, grid_2d):
+        u0 = grid_2d.initial_condition()
+        assert np.allclose(stencil_sweeps(grid_2d, u0, 0), u0)
+
+    def test_explicit_heat_decays_sine_mode(self):
+        g = Grid(shape=(31,), spacing=1 / 32, timestep=0.0002)
+        u0 = g.initial_condition()
+        u = stencil_sweeps(g, u0, 20)
+        # the sine mode decays but keeps its shape
+        ratio = u[10] / u0[10]
+        assert 0 < ratio < 1
+        assert np.allclose(u / ratio, u0, atol=1e-2)
+
+    def test_box_sweep_averages(self):
+        g = Grid(shape=(5, 5), spacing=0.1, timestep=0.001)
+        u0 = np.ones(g.num_points)
+        u1 = stencil_sweeps(g, u0, 1, neighborhood="box")
+        centre = u1.reshape(5, 5)[2, 2]
+        assert centre == pytest.approx(1.0)
+
+    def test_invalid_neighborhood(self, grid_2d):
+        with pytest.raises(ValueError):
+            stencil_sweeps(grid_2d, grid_2d.initial_condition(), 1, neighborhood="hex")
+
+    def test_negative_timesteps_rejected(self, grid_2d):
+        with pytest.raises(ValueError):
+            stencil_sweeps(grid_2d, grid_2d.initial_condition(), -1)
+
+
+class TestStencilCounts:
+    def test_flops_star_vs_box(self):
+        assert stencil_flops(10, 2, 2, "star") == 2 * 5 * 100 * 2
+        assert stencil_flops(10, 2, 2, "box") == 2 * 9 * 100 * 2
+
+    def test_tiled_sweep_io_estimate_vs_lower_bound(self):
+        from repro.bounds import jacobi_io_lower_bound
+
+        n, t, s, d = 64, 16, 256, 2
+        ub = tiled_sweep_io_estimate(n, t, d, s)
+        lb = jacobi_io_lower_bound(n, t, s, d)
+        assert lb <= ub <= 10 * lb  # tight up to a small constant
+
+    def test_tiled_sweep_guards(self):
+        with pytest.raises(ValueError):
+            tiled_sweep_io_estimate(0, 1, 2, 8)
+
+
+class TestThomasSolver:
+    def test_solves_random_dd_system(self, rng):
+        n = 12
+        lo, di, up = build_tridiagonal(n, -1.0, 4.0, -1.0)
+        x_true = rng.random(n)
+        dense = np.diag(di) + np.diag(lo[1:], -1) + np.diag(up[:-1], 1)
+        b = dense @ x_true
+        assert np.allclose(thomas_solve(lo, di, up, b), x_true)
+
+    def test_heat_bands(self):
+        lo, di, up = heat_tridiagonal(5, mesh_ratio=0.4)
+        assert di[0] == pytest.approx(1.4)
+        assert up[0] == pytest.approx(-0.2)
+        assert lo[0] == 0.0 and up[-1] == 0.0
+
+    def test_single_unknown(self):
+        lo, di, up = build_tridiagonal(1, 0.0, 2.0, 0.0)
+        assert thomas_solve(lo, di, up, np.array([4.0]))[0] == pytest.approx(2.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            thomas_solve(np.zeros(2), np.ones(3), np.zeros(3), np.ones(3))
+
+    def test_zero_pivot_detected(self):
+        lo, di, up = build_tridiagonal(3, 1.0, 0.0, 1.0)
+        with pytest.raises(ZeroDivisionError):
+            thomas_solve(lo, di, up, np.ones(3))
+
+    def test_invalid_mesh_ratio(self):
+        with pytest.raises(ValueError):
+            heat_tridiagonal(4, 0.0)

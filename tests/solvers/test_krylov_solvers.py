@@ -1,0 +1,141 @@
+"""Unit tests for the CG and GMRES solvers."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import (
+    CSRMatrix,
+    Grid,
+    StencilOperator,
+    cg_flops_per_iteration,
+    cg_total_flops,
+    conjugate_gradient,
+    gmres,
+    gmres_flops,
+    laplacian_csr,
+)
+
+
+@pytest.fixture
+def spd_system(grid_2d, rng):
+    op = StencilOperator(grid_2d)
+    x_true = rng.random(grid_2d.num_points)
+    return op, op.matvec(x_true), x_true
+
+
+class TestConjugateGradient:
+    def test_solves_spd_system(self, spd_system):
+        op, b, x_true = spd_system
+        res = conjugate_gradient(op, b, tol=1e-12)
+        assert res.converged
+        assert np.linalg.norm(res.x - x_true) < 1e-8
+
+    def test_works_with_csr_and_dense_operators(self, grid_2d, rng):
+        csr = laplacian_csr(grid_2d)
+        dense = csr.to_dense()
+        x_true = rng.random(grid_2d.num_points)
+        b = dense @ x_true
+        for op in (csr, dense):
+            res = conjugate_gradient(op, b, tol=1e-12)
+            assert np.allclose(res.x, x_true, atol=1e-7)
+
+    def test_initial_guess_respected(self, spd_system):
+        op, b, x_true = spd_system
+        res = conjugate_gradient(op, b, x0=x_true, tol=1e-10)
+        assert res.iterations == 0
+        assert res.converged
+
+    def test_residual_history_monotone_overall(self, spd_system):
+        op, b, _ = spd_system
+        res = conjugate_gradient(op, b, tol=1e-12)
+        assert res.residual_norms[-1] < res.residual_norms[0]
+
+    def test_max_iterations_cap(self, spd_system):
+        op, b, _ = spd_system
+        res = conjugate_gradient(op, b, tol=1e-16, max_iterations=2)
+        assert res.iterations <= 2
+
+    def test_callback_invoked(self, spd_system):
+        op, b, _ = spd_system
+        seen = []
+        conjugate_gradient(op, b, tol=1e-12, callback=lambda k, x: seen.append(k))
+        assert seen == list(range(1, len(seen) + 1))
+
+    def test_shape_mismatch(self, spd_system):
+        op, b, _ = spd_system
+        with pytest.raises(ValueError):
+            conjugate_gradient(op, b, x0=np.zeros(3))
+
+    def test_converges_in_at_most_n_iterations(self, grid_1d, rng):
+        op = StencilOperator(grid_1d)
+        b = rng.random(grid_1d.num_points)
+        res = conjugate_gradient(op, b, tol=1e-12)
+        assert res.iterations <= grid_1d.num_points
+
+
+class TestGMRES:
+    def test_solves_spd_system(self, spd_system):
+        op, b, x_true = spd_system
+        res = gmres(op, b, tol=1e-12)
+        assert res.converged
+        assert np.linalg.norm(res.x - x_true) < 1e-7
+
+    def test_solves_nonsymmetric_system(self, rng):
+        n = 20
+        a = np.eye(n) * 4 + np.triu(rng.random((n, n)), 1) * 0.3
+        x_true = rng.random(n)
+        res = gmres(a, a @ x_true, tol=1e-12)
+        assert np.allclose(res.x, x_true, atol=1e-7)
+
+    def test_hessenberg_shape(self, spd_system):
+        op, b, _ = spd_system
+        res = gmres(op, b, tol=1e-12, max_iterations=5)
+        m = res.iterations
+        assert res.hessenberg.shape == (m + 1, m)
+
+    def test_residual_estimates_decrease(self, spd_system):
+        op, b, _ = spd_system
+        res = gmres(op, b, tol=1e-14)
+        assert res.residual_norms[-1] <= res.residual_norms[0]
+
+    def test_zero_rhs(self, grid_2d):
+        op = StencilOperator(grid_2d)
+        res = gmres(op, np.zeros(grid_2d.num_points))
+        assert res.converged
+        assert np.allclose(res.x, 0.0)
+
+    def test_max_iterations_cap(self, spd_system):
+        op, b, _ = spd_system
+        res = gmres(op, b, tol=1e-16, max_iterations=3)
+        assert res.iterations <= 3
+
+    def test_callback(self, spd_system):
+        op, b, _ = spd_system
+        seen = []
+        gmres(op, b, tol=1e-12, callback=lambda k, r: seen.append((k, r)))
+        assert len(seen) > 0
+
+    def test_agrees_with_cg_on_spd(self, spd_system):
+        op, b, x_true = spd_system
+        xg = gmres(op, b, tol=1e-12).x
+        xc = conjugate_gradient(op, b, tol=1e-12).x
+        assert np.allclose(xg, xc, atol=1e-6)
+
+
+class TestOperationCounts:
+    def test_cg_flops_per_iteration_3d(self):
+        assert cg_flops_per_iteration(10, 3) == (4 * 3 + 14) * 1000
+
+    def test_cg_total_flops_paper_constant(self):
+        assert cg_total_flops(1000, 5, 3, paper_constant=True) == 20.0 * 1000 ** 3 * 5
+
+    def test_gmres_flops_paper_constant(self):
+        n, m = 100, 7
+        assert gmres_flops(n, m, 3, paper_constant=True) == pytest.approx(
+            20 * n ** 3 * m + n ** 3 * m ** 2
+        )
+
+    def test_gmres_flops_grow_superlinearly_in_m(self):
+        f10 = gmres_flops(50, 10, 3)
+        f20 = gmres_flops(50, 20, 3)
+        assert f20 > 2 * f10

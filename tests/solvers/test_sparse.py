@@ -1,0 +1,103 @@
+"""Unit tests for the CSR matrix and the matrix-free stencil operator."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import CSRMatrix, Grid, StencilOperator, laplacian_csr
+
+
+class TestCSRConstruction:
+    def test_from_coo_and_dense_roundtrip(self, rng):
+        dense = rng.random((5, 4))
+        dense[dense < 0.5] = 0.0
+        m = CSRMatrix.from_dense(dense)
+        assert np.allclose(m.to_dense(), dense)
+        assert m.nnz == np.count_nonzero(dense)
+
+    def test_from_coo_sums_duplicates(self):
+        m = CSRMatrix.from_coo([0, 0], [1, 1], [2.0, 3.0], (2, 2))
+        assert m.to_dense()[0, 1] == 5.0
+        assert m.nnz == 1
+
+    def test_invalid_structures(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(np.ones(2), np.array([0, 1]), np.array([0, 1]), (2, 2))
+        with pytest.raises(ValueError):
+            CSRMatrix(np.ones(1), np.array([5]), np.array([0, 1]), (1, 2))
+        with pytest.raises(ValueError):
+            CSRMatrix.from_coo([0], [0, 1], [1.0], (2, 2))
+
+
+class TestCSRKernels:
+    def test_matvec_matches_dense(self, rng):
+        dense = rng.random((6, 6))
+        dense[dense < 0.6] = 0.0
+        x = rng.random(6)
+        m = CSRMatrix.from_dense(dense)
+        assert np.allclose(m.matvec(x), dense @ x)
+        assert np.allclose(m @ x, dense @ x)
+
+    def test_matvec_with_empty_rows(self):
+        dense = np.zeros((3, 3))
+        dense[0, 1] = 2.0
+        m = CSRMatrix.from_dense(dense)
+        assert np.allclose(m.matvec(np.ones(3)), [2.0, 0.0, 0.0])
+
+    def test_matvec_dimension_check(self, rng):
+        m = CSRMatrix.from_dense(rng.random((3, 4)))
+        with pytest.raises(ValueError):
+            m.matvec(np.ones(3))
+
+    def test_diagonal(self, rng):
+        dense = rng.random((5, 5))
+        m = CSRMatrix.from_dense(dense)
+        assert np.allclose(m.diagonal(), np.diag(dense))
+
+    def test_transpose(self, rng):
+        dense = rng.random((4, 6))
+        dense[dense < 0.5] = 0.0
+        m = CSRMatrix.from_dense(dense)
+        assert np.allclose(m.transpose().to_dense(), dense.T)
+
+    def test_row_access(self):
+        dense = np.array([[1.0, 0.0, 2.0], [0.0, 0.0, 0.0]])
+        m = CSRMatrix.from_dense(dense)
+        cols, vals = m.row(0)
+        assert list(cols) == [0, 2]
+        assert list(vals) == [1.0, 2.0]
+
+
+class TestStencilOperator:
+    def test_matches_explicit_csr(self, grid_2d, rng):
+        op = StencilOperator(grid_2d)
+        csr = laplacian_csr(grid_2d)
+        x = rng.random(grid_2d.num_points)
+        assert np.allclose(op.matvec(x), csr.matvec(x))
+        assert np.allclose(op.to_csr().to_dense(), csr.to_dense())
+
+    def test_symmetric(self, grid_2d):
+        dense = laplacian_csr(grid_2d).to_dense()
+        assert np.allclose(dense, dense.T)
+
+    def test_positive_definite(self, grid_2d):
+        dense = laplacian_csr(grid_2d).to_dense()
+        eigvals = np.linalg.eigvalsh(dense)
+        assert np.all(eigvals > 0)
+
+    def test_diagonal(self, grid_2d):
+        op = StencilOperator(grid_2d)
+        diag, _ = grid_2d.implicit_matrix_diagonals()
+        assert np.allclose(op.diagonal(), diag)
+
+    def test_shape_and_dimension_check(self, grid_2d):
+        op = StencilOperator(grid_2d)
+        assert op.shape == (36, 36)
+        with pytest.raises(ValueError):
+            op.matvec(np.ones(5))
+
+    def test_3d_operator(self, rng):
+        g = Grid(shape=(3, 3, 3), spacing=0.25, timestep=0.01)
+        op = StencilOperator(g)
+        csr = laplacian_csr(g)
+        x = rng.random(g.num_points)
+        assert np.allclose(op.matvec(x), csr.matvec(x))
