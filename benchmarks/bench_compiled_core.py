@@ -1,0 +1,202 @@
+"""Core-hot-path benchmarks for the compiled integer-indexed CDAG backend.
+
+Measures, at three sizes each, the ns/op of the four operations that
+dominate every analysis pipeline in the repo — CDAG construction,
+topological ordering, pebble-game replay, and the automated wavefront
+(Lemma 2) bound — and records everything into ``BENCH_core.json`` via the
+shared conftest helper.
+
+The headline test compares the *seed dict-backend path* (incremental
+``CDAG(...)`` construction + per-candidate networkx split-graph rebuild,
+:func:`repro.core.properties.min_wavefront_rebuild`) against the compiled
+path (``CDAG.from_edge_list`` + shared
+:class:`~repro.core.properties.WavefrontSolver`) on 1D Jacobi at n=64 and
+asserts the >= 5x speedup this PR claims.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_compiled_core.py -q
+
+Deselect the heavy whole-pipeline comparison with ``-m "not bench"``.
+"""
+
+import pytest
+
+from repro.bounds.mincut import (
+    automated_wavefront_bound,
+    heuristic_wavefront_candidates,
+)
+from repro.core import CDAG, grid_stencil_cdag
+from repro.core.properties import min_wavefront_rebuild
+from repro.pebbling import RedBluePebbleGame, spill_game_redblue
+
+from conftest import emit, record_bench, time_ns_per_op
+
+#: grid extents for the 2D construction/topo benches
+GRID_SIZES = (16, 32, 64)
+#: 1D Jacobi widths for the pebble/wavefront benches
+JACOBI_SIZES = (16, 32, 64)
+JACOBI_TIMESTEPS = 16
+S_RED = 8
+MAX_CANDIDATES = 8
+
+
+def jacobi_1d(n: int) -> CDAG:
+    """3-point 1D Jacobi stencil, ``n`` grid points, T sweeps."""
+    return grid_stencil_cdag((n,), JACOBI_TIMESTEPS, name=f"jacobi1d_{n}")
+
+
+def edge_lists(cdag: CDAG):
+    return (
+        list(cdag.vertices),
+        list(cdag.edges()),
+        list(cdag.inputs),
+        list(cdag.outputs),
+    )
+
+
+def test_bench_build():
+    rows = []
+    for n in GRID_SIZES:
+        proto = grid_stencil_cdag((n, n), 2)
+        verts, edges, inputs, outputs = edge_lists(proto)
+        legacy_ns = time_ns_per_op(
+            lambda: CDAG(verts, edges, inputs, outputs), repeat=3
+        )
+        bulk_ns = time_ns_per_op(
+            lambda: CDAG.from_edge_list(verts, edges, inputs, outputs),
+            repeat=3,
+        )
+        record_bench(
+            f"build/grid2d_{n}",
+            ns_per_op=bulk_ns,
+            incremental_ns_per_op=legacy_ns,
+            num_vertices=proto.num_vertices(),
+            num_edges=proto.num_edges(),
+        )
+        rows.append(
+            f"  n={n:3d}  |V|={proto.num_vertices():7d}  "
+            f"bulk={bulk_ns/1e6:8.2f} ms  incremental={legacy_ns/1e6:8.2f} ms"
+        )
+    emit("CDAG construction (2D grid stencil, T=2)\n" + "\n".join(rows))
+
+
+def test_bench_topological_order():
+    rows = []
+    for n in GRID_SIZES:
+        cdag = grid_stencil_cdag((n, n), 2)
+
+        def topo_fresh():
+            cdag._topo_cache = None
+            cdag._compiled = None
+            return cdag.compiled().topological_order_ids()
+
+        ns = time_ns_per_op(topo_fresh, repeat=3)
+        record_bench(
+            f"topo/grid2d_{n}",
+            ns_per_op=ns,
+            num_vertices=cdag.num_vertices(),
+        )
+        rows.append(f"  n={n:3d}  topo+compile={ns/1e6:8.2f} ms")
+    emit("Topological order, cold compiled cache\n" + "\n".join(rows))
+
+
+def test_bench_pebble_replay():
+    rows = []
+    for n in JACOBI_SIZES:
+        cdag = jacobi_1d(n)
+        spill_ns = time_ns_per_op(
+            lambda: spill_game_redblue(cdag, S_RED), repeat=3
+        )
+        record = spill_game_redblue(cdag, S_RED)
+        game = RedBluePebbleGame(cdag, S_RED, strict=False)
+        replay_ns = time_ns_per_op(lambda: game.replay(record.moves), repeat=3)
+        record_bench(
+            f"pebble/jacobi1d_{n}",
+            ns_per_op=spill_ns,
+            replay_ns_per_op=replay_ns,
+            num_moves=len(record.moves),
+            io=record.io_count,
+        )
+        rows.append(
+            f"  n={n:3d}  spill={spill_ns/1e6:8.2f} ms  "
+            f"replay={replay_ns/1e6:8.2f} ms  io={record.io_count}"
+        )
+    emit(
+        f"Red-blue spill game + replay (1D Jacobi, S={S_RED})\n"
+        + "\n".join(rows)
+    )
+
+
+def test_bench_wavefront_bound():
+    rows = []
+    for n in JACOBI_SIZES:
+        cdag = jacobi_1d(n)
+
+        def bound_fresh():
+            cdag._compiled = None  # force split-graph rebuild each op
+            return automated_wavefront_bound(
+                cdag, s=S_RED, max_candidates=MAX_CANDIDATES
+            )
+
+        ns = time_ns_per_op(bound_fresh, repeat=3)
+        b = bound_fresh()
+        record_bench(
+            f"wavefront/jacobi1d_{n}",
+            ns_per_op=ns,
+            wavefront=b.wavefront,
+            num_vertices=cdag.num_vertices(),
+        )
+        rows.append(
+            f"  n={n:3d}  bound={ns/1e6:8.2f} ms  w={b.wavefront}"
+        )
+    emit(
+        "Automated wavefront bound, cold solver cache "
+        f"(1D Jacobi, {MAX_CANDIDATES} candidates)\n" + "\n".join(rows)
+    )
+
+
+@pytest.mark.bench
+def test_compiled_backend_speedup_vs_seed_path():
+    """Tentpole acceptance: >= 5x on construction + Jacobi bound at n=64."""
+    n = 64
+    proto = jacobi_1d(n)
+    verts, edges, inputs, outputs = edge_lists(proto)
+
+    def legacy_pipeline() -> int:
+        cdag = CDAG(verts, edges, inputs, outputs, name="legacy")
+        cands = heuristic_wavefront_candidates(
+            cdag, max_candidates=MAX_CANDIDATES
+        )
+        return max(min_wavefront_rebuild(cdag, x) for x in cands)
+
+    def compiled_pipeline() -> int:
+        cdag = CDAG.from_edge_list(
+            verts, edges, inputs, outputs, name="compiled"
+        )
+        return automated_wavefront_bound(
+            cdag, s=0, max_candidates=MAX_CANDIDATES
+        ).wavefront
+
+    assert legacy_pipeline() == compiled_pipeline()
+
+    legacy_ns = time_ns_per_op(legacy_pipeline, repeat=2)
+    compiled_ns = time_ns_per_op(compiled_pipeline, repeat=2)
+    speedup = legacy_ns / compiled_ns
+    record_bench(
+        "speedup/jacobi1d_64_construct_plus_wavefront",
+        ns_per_op=compiled_ns,
+        legacy_ns_per_op=legacy_ns,
+        speedup=round(speedup, 2),
+        num_vertices=proto.num_vertices(),
+    )
+    emit(
+        f"Seed path vs compiled backend (1D Jacobi n={n}, "
+        f"{MAX_CANDIDATES} candidates):\n"
+        f"  legacy   = {legacy_ns/1e6:9.2f} ms\n"
+        f"  compiled = {compiled_ns/1e6:9.2f} ms\n"
+        f"  speedup  = {speedup:9.1f}x"
+    )
+    assert speedup >= 5.0, (
+        f"compiled backend only {speedup:.1f}x faster than the seed path"
+    )

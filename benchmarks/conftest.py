@@ -6,16 +6,45 @@ per-experiment index) and *prints* the reproduced rows so that
 readable record of the reproduced numbers next to the timings.  The
 ``emit`` helper temporarily suspends pytest's output capture so the tables
 are always visible regardless of the capture mode.
+
+Machine-readable timings
+------------------------
+Benchmarks additionally record timings through the ``bench_record``
+fixture (or :func:`record_bench` directly); at the end of the session
+everything recorded is merged into ``BENCH_core.json`` at the repository
+root::
+
+    {"results": {"<bench>/<case>": {"ns_per_op": ..., ...}, ...}}
+
+so CI and future PRs can diff hot-path performance without parsing text
+output.  Timing itself goes through :func:`time_ns_per_op` (best-of-N
+wall clock, GC left on — matching how the library is actually used).
+
+The ``bench`` marker tags whole-pipeline benchmark tests; the tier-1
+``pytest -x -q`` run never collects ``bench_*.py`` files (they do not
+match the default test-file pattern), and an explicit benchmarks run can
+still deselect the heavy ones with ``-m "not bench"``.
 """
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
 _CONFIG = None
+_BENCH_RESULTS = {}
+_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_core.json"
 
 
 def pytest_configure(config):
     global _CONFIG
     _CONFIG = config
+    config.addinivalue_line(
+        "markers",
+        "bench: whole-pipeline performance benchmark (deselect with "
+        '-m "not bench" to keep a benchmarks run fast)',
+    )
 
 
 def emit(text: str) -> None:
@@ -33,3 +62,63 @@ def emit(text: str) -> None:
 @pytest.fixture
 def report_emitter():
     return emit
+
+
+# ----------------------------------------------------------------------
+# Machine-readable timing results (BENCH_core.json)
+# ----------------------------------------------------------------------
+def record_bench(name: str, ns_per_op=None, **extra) -> None:
+    """Record one benchmark result for the end-of-session JSON dump.
+
+    ``name`` should be ``"<bench>/<case>"`` (e.g. ``"build/grid_64"``);
+    ``ns_per_op`` is the headline number; any keyword extras (sizes,
+    speedups, baselines) are stored alongside it.
+    """
+    entry = {}
+    if ns_per_op is not None:
+        entry["ns_per_op"] = float(ns_per_op)
+    entry.update(extra)
+    _BENCH_RESULTS[name] = entry
+
+
+def time_ns_per_op(fn, repeat: int = 3, number: int = 1) -> float:
+    """Best-of-``repeat`` wall-clock nanoseconds per call of ``fn``."""
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter_ns()
+        for _ in range(number):
+            fn()
+        elapsed = (time.perf_counter_ns() - t0) / number
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+@pytest.fixture
+def bench_record():
+    return record_bench
+
+
+@pytest.fixture
+def bench_timer():
+    return time_ns_per_op
+
+
+def pytest_sessionfinish(session):
+    if not _BENCH_RESULTS:
+        return
+    merged = {}
+    if _BENCH_JSON.exists():
+        try:
+            merged = json.loads(_BENCH_JSON.read_text()).get("results", {})
+        except (ValueError, OSError):  # pragma: no cover - corrupt file
+            merged = {}
+    merged.update(_BENCH_RESULTS)
+    _BENCH_JSON.write_text(
+        json.dumps(
+            {"results": dict(sorted(merged.items()))},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )

@@ -113,7 +113,7 @@ def composite_cdag(n: int, name: str = "composite") -> CDAG:
                 edges.append((sum_prev, s))
                 edges.append((prev, s))
                 sum_prev = s
-    return CDAG(vertices, edges, inputs, [sum_prev], name=name)
+    return CDAG.from_edge_list(vertices, edges, inputs, [sum_prev], name=name)
 
 
 def traced_composite(

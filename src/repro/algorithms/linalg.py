@@ -85,7 +85,7 @@ def matmul_cdag(n: int, name: str = "matmul") -> CDAG:
                     edges.append((mul, acc))
                     prev = acc
             outputs.append(prev)  # type: ignore[arg-type]
-    return CDAG(vertices, edges, inputs, outputs, name=name)
+    return CDAG.from_edge_list(vertices, edges, inputs, outputs, name=name)
 
 
 def matmul_accumulation_chains(n: int) -> CDAG:

@@ -54,7 +54,7 @@ def dot_product_cdag(n: int, name: str = "dot") -> CDAG:
             edges.append((prev, a))
             edges.append((m, a))
             prev = a
-    return CDAG(vertices, edges, inputs, [prev], name=name)
+    return CDAG.from_edge_list(vertices, edges, inputs, [prev], name=name)
 
 
 def saxpy_cdag(n: int, name: str = "saxpy") -> CDAG:
@@ -74,7 +74,7 @@ def saxpy_cdag(n: int, name: str = "saxpy") -> CDAG:
         edges.append((("x", i), out))
         edges.append((("y", i), out))
         outputs.append(out)
-    return CDAG(vertices, edges, inputs, outputs, name=name)
+    return CDAG.from_edge_list(vertices, edges, inputs, outputs, name=name)
 
 
 def dot_then_axpy_cdag(n: int, name: str = "dot-axpy") -> CDAG:
@@ -119,4 +119,4 @@ def dot_then_axpy_cdag(n: int, name: str = "dot-axpy") -> CDAG:
         edges.append((("x", i), z))
         edges.append((("y", i), z))
         outputs.append(z)
-    return CDAG(vertices, edges, inputs, outputs, name=name)
+    return CDAG.from_edge_list(vertices, edges, inputs, outputs, name=name)

@@ -85,6 +85,63 @@ def best_wavefront_lower_bound(
     return MinCutBound(value=max(0.0, 2.0 * (w - s)), wavefront=w, s=s, vertex=x)
 
 
+def _candidate_scores(cdag: CDAG):
+    """Per-vertex heuristic scores and layers over the compiled CDAG.
+
+    Returns ``(compiled, score, layer)`` where ``score``/``layer`` are
+    id-indexed lists.  One topological pass each; no name hashing.
+    """
+    c = cdag.compiled()
+    succ_lists = c.succ_lists
+    topo = c.topological_order_ids().tolist()
+
+    # Longest-path layer of each vertex (cheap, one topological pass).
+    layer = c.layers().tolist()
+
+    # Cheap ancestor-count proxy: number of *distinct input vertices*
+    # reaching v, capped; computed by a capped bitset-free propagation of
+    # counts (over-counts shared ancestors, hence only a heuristic score).
+    is_input = c.is_input_mask.tolist()
+    in_degree = c.in_degree.tolist()
+    out_degree = c.out_degree.tolist()
+    reach = [
+        1.0 if (is_input[v] or in_degree[v] == 0) else 0.0
+        for v in range(c.n)
+    ]
+    for v in topo:
+        rv = reach[v]
+        for w in succ_lists[v]:
+            nw = reach[w] + rv
+            reach[w] = nw if nw < 1e9 else 1e9
+
+    score = [
+        (reach[v] if out_degree[v] > 0 else 0.0) + in_degree[v]
+        for v in range(c.n)
+    ]
+    return c, score, layer
+
+
+def _candidate_ids(cdag: CDAG, max_candidates: int) -> List[int]:
+    """Candidate vertex ids, ranked by heuristic score (descending)."""
+    if cdag.num_vertices() == 0:
+        return []
+    c, score, layer = _candidate_scores(cdag)
+    ranked = sorted(range(c.n), key=score.__getitem__, reverse=True)
+    picked = ranked[:max_candidates]
+    # Ensure per-layer coverage.
+    chosen = set(picked)
+    best_per_layer: dict = {}
+    for v in range(c.n):
+        cur = best_per_layer.get(layer[v])
+        if cur is None or score[v] > score[cur]:
+            best_per_layer[layer[v]] = v
+    for v in best_per_layer.values():
+        if v not in chosen:
+            picked.append(v)
+            chosen.add(v)
+    return picked
+
+
 def heuristic_wavefront_candidates(
     cdag: CDAG, max_candidates: int = 32
 ) -> List[Vertex]:
@@ -103,39 +160,8 @@ def heuristic_wavefront_candidates(
     highest-in-degree vertex of each "layer" (distance from the sources)
     so that deep CDAGs get candidates spread over their depth.
     """
-    if cdag.num_vertices() == 0:
-        return []
-    # Longest-path layer of each vertex (cheap, one topological pass).
-    layer = {v: 0 for v in cdag.vertices}
-    for v in cdag.topological_order():
-        for w in cdag.successors(v):
-            layer[w] = max(layer[w], layer[v] + 1)
-
-    # Cheap ancestor-count proxy: number of *distinct input vertices*
-    # reaching v, capped; computed by a capped bitset-free propagation of
-    # counts (over-counts shared ancestors, hence only a heuristic score).
-    reach_score = {v: (1.0 if cdag.is_input(v) or cdag.in_degree(v) == 0 else 0.0)
-                   for v in cdag.vertices}
-    for v in cdag.topological_order():
-        for w in cdag.successors(v):
-            reach_score[w] = min(1e9, reach_score[w] + reach_score[v])
-
-    def score(v: Vertex) -> float:
-        has_desc = 1.0 if cdag.out_degree(v) > 0 else 0.0
-        return has_desc * reach_score[v] + cdag.in_degree(v)
-
-    ranked = sorted(cdag.vertices, key=score, reverse=True)
-    picked: List[Vertex] = ranked[:max_candidates]
-    # Ensure per-layer coverage.
-    best_per_layer: dict = {}
-    for v in cdag.vertices:
-        cur = best_per_layer.get(layer[v])
-        if cur is None or score(v) > score(cur):
-            best_per_layer[layer[v]] = v
-    for v in best_per_layer.values():
-        if v not in picked:
-            picked.append(v)
-    return picked
+    ids = _candidate_ids(cdag, max_candidates)
+    return cdag.compiled().vertices_of(ids) if ids else []
 
 
 def automated_wavefront_bound(
@@ -146,6 +172,37 @@ def automated_wavefront_bound(
     Returns the best (largest) Lemma 2 bound found.  Because every
     candidate's bound is individually valid, taking the maximum is valid;
     the heuristic only affects tightness, never soundness.
+
+    Candidates are evaluated best-score-first against one shared
+    :class:`~repro.core.properties.WavefrontSolver` network, with two
+    sound prunes layered on top: sink candidates contribute a wavefront
+    of exactly 1, and a candidate whose ancestor count satisfies
+    ``|Anc(x)| + 1 <= best`` cannot improve on ``best`` (the canonical
+    convex cut ``S = {x} ∪ Anc(x)`` witnesses ``|W^min(x)| <= |Anc(x)|+1``),
+    so its max-flow is skipped entirely.
     """
-    candidates = heuristic_wavefront_candidates(cdag, max_candidates)
-    return best_wavefront_lower_bound(cdag, s, candidates)
+    ids = _candidate_ids(cdag, max_candidates)
+    if not ids:
+        return MinCutBound(
+            value=max(0.0, -2.0 * s), wavefront=0, s=s, vertex=None
+        )
+    c = cdag.compiled()
+    solver = c.wavefront_solver()
+    out_degree = c.out_degree
+    best = 0
+    best_vertex = None
+    for i in ids:
+        if out_degree[i] == 0:
+            w = 1  # sinks: the minimum over valid cuts is {x} itself
+        else:
+            anc = c.ancestors_ids(i)
+            if best > 0 and anc.size + 1 <= best:
+                continue  # upper bound can't beat the incumbent
+            w = solver.min_wavefront_id(i, anc=anc)
+        if w > best:
+            best = w
+            best_vertex = c.vertex(i)
+    return MinCutBound(
+        value=max(0.0, 2.0 * (best - s)), wavefront=best, s=s,
+        vertex=best_vertex,
+    )

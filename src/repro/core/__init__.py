@@ -9,6 +9,7 @@ real numerical code.
 """
 
 from .cdag import CDAG, CDAGBuilder, CDAGError, CycleError, Vertex
+from .compiled import CompiledCDAG
 from .builders import (
     broadcast_tree_cdag,
     butterfly_cdag,
@@ -38,6 +39,7 @@ from .partition import (
     partition_from_schedule,
 )
 from .properties import (
+    WavefrontSolver,
     convex_cut_for_vertex,
     has_circuit_between,
     in_set,
@@ -46,6 +48,7 @@ from .properties import (
     max_min_wavefront,
     max_schedule_wavefront,
     min_wavefront,
+    min_wavefront_rebuild,
     minimal_dominator_size,
     minimum_set,
     out_set,
@@ -58,6 +61,7 @@ __all__ = [
     "CDAG",
     "CDAGBuilder",
     "CDAGError",
+    "CompiledCDAG",
     "CycleError",
     "Vertex",
     # builders
@@ -86,6 +90,8 @@ __all__ = [
     "partition_from_game",
     "partition_from_schedule",
     # properties
+    "WavefrontSolver",
+    "min_wavefront_rebuild",
     "convex_cut_for_vertex",
     "has_circuit_between",
     "in_set",

@@ -56,7 +56,7 @@ def chain_cdag(length: int, name: str = "chain") -> CDAG:
     for i in range(1, length + 1):
         vertices.append(("chain", i))
         edges.append((("chain", i - 1), ("chain", i)))
-    return CDAG(
+    return CDAG.from_edge_list(
         vertices=vertices,
         edges=edges,
         inputs=[("chain", 0)],
@@ -90,7 +90,7 @@ def independent_chains_cdag(
             edges.append((prev, v))
             prev = v
         outputs.append(prev)
-    return CDAG(vertices, edges, inputs, outputs, name=name)
+    return CDAG.from_edge_list(vertices, edges, inputs, outputs, name=name)
 
 
 def reduction_tree_cdag(
@@ -127,7 +127,7 @@ def reduction_tree_cdag(
                 edges.append((u, v))
             nxt.append(v)
         current = nxt
-    return CDAG(vertices, edges, inputs, [current[0]], name=name)
+    return CDAG.from_edge_list(vertices, edges, inputs, [current[0]], name=name)
 
 
 def broadcast_tree_cdag(
@@ -160,7 +160,7 @@ def broadcast_tree_cdag(
                 nxt.extend(current[i + 1 :])
                 break
         current = nxt
-    return CDAG(vertices, edges, [root], current[:num_leaves], name=name)
+    return CDAG.from_edge_list(vertices, edges, [root], current[:num_leaves], name=name)
 
 
 def diamond_cdag(width: int, depth: int, name: str = "diamond") -> CDAG:
@@ -189,7 +189,7 @@ def diamond_cdag(width: int, depth: int, name: str = "diamond") -> CDAG:
                         edges.append((("dmd", t - 1, j), v))
     inputs = [("dmd", 0, i) for i in range(width)]
     outputs = [("dmd", depth - 1, i) for i in range(width)]
-    return CDAG(vertices, edges, inputs, outputs, name=name)
+    return CDAG.from_edge_list(vertices, edges, inputs, outputs, name=name)
 
 
 def grid_stencil_cdag(
@@ -247,7 +247,7 @@ def grid_stencil_cdag(
                         edges.append((("st", t - 1) + q, v))
     inputs = [("st", 0) + p for p in points]
     outputs = [("st", timesteps) + p for p in points]
-    return CDAG(vertices, edges, inputs, outputs, name=name)
+    return CDAG.from_edge_list(vertices, edges, inputs, outputs, name=name)
 
 
 def butterfly_cdag(log_n: int, name: str = "fft") -> CDAG:
@@ -273,7 +273,7 @@ def butterfly_cdag(log_n: int, name: str = "fft") -> CDAG:
                 edges.append((("fft", s - 1, i ^ stride), v))
     inputs = [("fft", 0, i) for i in range(n)]
     outputs = [("fft", log_n, i) for i in range(n)]
-    return CDAG(vertices, edges, inputs, outputs, name=name)
+    return CDAG.from_edge_list(vertices, edges, inputs, outputs, name=name)
 
 
 def pyramid_cdag(base: int, name: str = "pyramid") -> CDAG:
@@ -298,7 +298,7 @@ def pyramid_cdag(base: int, name: str = "pyramid") -> CDAG:
                 edges.append((("pyr", r - 1, i + 1), v))
     inputs = [("pyr", 0, i) for i in range(base)]
     outputs = [("pyr", base - 1, 0)]
-    return CDAG(vertices, edges, inputs, outputs, name=name)
+    return CDAG.from_edge_list(vertices, edges, inputs, outputs, name=name)
 
 
 def outer_product_cdag(n: int, name: str = "outer") -> CDAG:
@@ -329,7 +329,7 @@ def outer_product_cdag(n: int, name: str = "outer") -> CDAG:
             edges.append((("p", i), v))
             edges.append((("q", j), v))
             outputs.append(v)
-    return CDAG(vertices, edges, inputs, outputs, name=name)
+    return CDAG.from_edge_list(vertices, edges, inputs, outputs, name=name)
 
 
 def dense_layer_cdag(
@@ -350,4 +350,4 @@ def dense_layer_cdag(
     for i in range(num_inputs):
         for j in range(num_outputs):
             edges.append((("x", i), ("y", j)))
-    return CDAG(vertices, edges, inputs, outputs, name=name)
+    return CDAG.from_edge_list(vertices, edges, inputs, outputs, name=name)

@@ -120,10 +120,12 @@ class CDAG:
     __slots__ = (
         "_succ",
         "_pred",
+        "_succ_sets",
         "_inputs",
         "_outputs",
         "_order",
         "_topo_cache",
+        "_compiled",
         "name",
     )
 
@@ -138,8 +140,14 @@ class CDAG:
     ) -> None:
         self._succ: Dict[Vertex, List[Vertex]] = {}
         self._pred: Dict[Vertex, List[Vertex]] = {}
+        # Parallel membership sets per adjacency list so that the duplicate
+        # check in add_edge is O(1) instead of a linear scan.  ``None``
+        # means "not built yet" (bulk-constructed CDAGs defer it until the
+        # first incremental add_edge).
+        self._succ_sets: Optional[Dict[Vertex, Set[Vertex]]] = {}
         self._order: Dict[Vertex, int] = {}
         self._topo_cache: Optional[List[Vertex]] = None
+        self._compiled = None
         self.name = name
 
         for v in vertices:
@@ -164,8 +172,11 @@ class CDAG:
         if v not in self._succ:
             self._succ[v] = []
             self._pred[v] = []
+            if self._succ_sets is not None:
+                self._succ_sets[v] = set()
             self._order[v] = len(self._order)
             self._topo_cache = None
+            self._compiled = None
 
     def add_vertex(self, v: Vertex) -> Vertex:
         """Add a vertex (no-op if it already exists) and return it."""
@@ -173,35 +184,136 @@ class CDAG:
         return v
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
-        """Add the data-flow edge ``u -> v``, creating missing endpoints."""
+        """Add the data-flow edge ``u -> v``, creating missing endpoints.
+
+        O(1) amortized: duplicate detection uses a membership set kept in
+        parallel with the ordered adjacency list.
+        """
         if u == v:
             raise CycleError(f"self loop on vertex {u!r}")
         self._add_vertex(u)
         self._add_vertex(v)
-        if v not in self._succ[u]:
+        if self._succ_sets is None:
+            # Bulk-constructed CDAG switching to incremental mutation:
+            # materialize the membership sets once.
+            self._succ_sets = {w: set(vs) for w, vs in self._succ.items()}
+        uset = self._succ_sets[u]
+        if v not in uset:
+            uset.add(v)
             self._succ[u].append(v)
             self._pred[v].append(u)
             self._topo_cache = None
+            self._compiled = None
 
     def tag_input(self, v: Vertex) -> None:
         """Tag ``v`` as a member of the input set ``I``."""
         if v not in self._succ:
             raise CDAGError(f"cannot tag unknown vertex {v!r} as input")
         self._inputs.add(v)
+        self._compiled = None
 
     def tag_output(self, v: Vertex) -> None:
         """Tag ``v`` as a member of the output set ``O``."""
         if v not in self._succ:
             raise CDAGError(f"cannot tag unknown vertex {v!r} as output")
         self._outputs.add(v)
+        self._compiled = None
 
     def untag_input(self, v: Vertex) -> None:
         """Remove ``v`` from the input set (Theorem 3 style relabelling)."""
         self._inputs.discard(v)
+        self._compiled = None
 
     def untag_output(self, v: Vertex) -> None:
         """Remove ``v`` from the output set."""
         self._outputs.discard(v)
+        self._compiled = None
+
+    @classmethod
+    def from_edge_list(
+        cls,
+        vertices: Iterable[Vertex],
+        edges: Iterable[Tuple[Vertex, Vertex]],
+        inputs: Iterable[Vertex] = (),
+        outputs: Iterable[Vertex] = (),
+        name: str = "cdag",
+        validate: bool = False,
+        dedup: bool = False,
+    ) -> "CDAG":
+        """Bulk-construct a CDAG from pre-assembled vertex/edge lists.
+
+        This is the fast path for the structured builders and algorithm
+        CDAG constructors, which generate duplicate-free edge lists: it
+        fills the adjacency dictionaries directly, skipping the per-edge
+        duplicate check and the per-call indirection of :meth:`add_edge`.
+        Membership sets for incremental mutation are built lazily on the
+        first post-construction ``add_edge``.
+
+        Parameters
+        ----------
+        dedup:
+            Set True when ``edges`` may contain duplicates; they are then
+            filtered (at the cost of one set per source vertex).
+        validate:
+            Run :meth:`validate` after construction (acyclicity + tags).
+            Off by default — the builders guarantee acyclicity by
+            construction.
+        """
+        self = cls.__new__(cls)
+        succ: Dict[Vertex, List[Vertex]] = {}
+        pred: Dict[Vertex, List[Vertex]] = {}
+        for v in vertices:
+            if v not in succ:
+                succ[v] = []
+                pred[v] = []
+        if dedup:
+            seen: Set[Tuple[Vertex, Vertex]] = set()
+            for u, v in edges:
+                if u == v:
+                    raise CycleError(f"self loop on vertex {u!r}")
+                if (u, v) in seen:
+                    continue
+                seen.add((u, v))
+                if u not in succ:
+                    succ[u] = []
+                    pred[u] = []
+                if v not in succ:
+                    succ[v] = []
+                    pred[v] = []
+                succ[u].append(v)
+                pred[v].append(u)
+        else:
+            for u, v in edges:
+                if u == v:
+                    raise CycleError(f"self loop on vertex {u!r}")
+                if u not in succ:
+                    succ[u] = []
+                    pred[u] = []
+                if v not in succ:
+                    succ[v] = []
+                    pred[v] = []
+                succ[u].append(v)
+                pred[v].append(u)
+        self._succ = succ
+        self._pred = pred
+        self._succ_sets = None
+        self._order = {v: i for i, v in enumerate(succ)}
+        self._topo_cache = None
+        self._compiled = None
+        self.name = name
+        self._inputs = set()
+        self._outputs = set()
+        for v in inputs:
+            if v not in succ:
+                raise CDAGError(f"cannot tag unknown vertex {v!r} as input")
+            self._inputs.add(v)
+        for v in outputs:
+            if v not in succ:
+                raise CDAGError(f"cannot tag unknown vertex {v!r} as output")
+            self._outputs.add(v)
+        if validate:
+            self.validate()
+        return self
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -250,6 +362,8 @@ class CDAG:
         return v in self._succ
 
     def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        if self._succ_sets is not None:
+            return v in self._succ_sets.get(u, ())
         return v in self._succ.get(u, ())
 
     def is_input(self, v: Vertex) -> bool:
@@ -496,6 +610,21 @@ class CDAG:
     # ------------------------------------------------------------------
     # Interop
     # ------------------------------------------------------------------
+    def compiled(self) -> "CompiledCDAG":
+        """The integer-indexed compiled view of this CDAG (cached).
+
+        The snapshot is rebuilt lazily after any mutation (vertex/edge
+        addition, input/output re-tagging); repeated calls between
+        mutations return the same object, so engines and solvers that
+        derive further caches from it (topological order, adjacency
+        matrices, the wavefront split graph) share them automatically.
+        """
+        if self._compiled is None:
+            from .compiled import CompiledCDAG  # deferred: avoid cycle
+
+            self._compiled = CompiledCDAG(self)
+        return self._compiled
+
     def to_networkx(self) -> nx.DiGraph:
         """Convert to a :class:`networkx.DiGraph` (tags stored as attrs)."""
         g = nx.DiGraph(name=self.name)

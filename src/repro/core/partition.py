@@ -274,26 +274,95 @@ def partition_from_schedule(
     and its ``h`` upper-bounds ``H(2S)``, hence the implied bound
     ``S*(h-1)`` *under*-estimates nothing — it is primarily used for
     cross-checking and for empirical ``U(2S)`` estimation.
+
+    The In/Out sets of the growing subset are maintained *incrementally*
+    over the compiled CDAG: adding a vertex touches only its own edges,
+    and closing a subset on an over-limit add rolls the last add back.
+    Total cost is ``O(|V| + |E|)`` instead of the seed's
+    ``O(|V| * |V_i| * deg)`` full recomputation per step.
     """
-    ops = [v for v in schedule if not cdag.is_input(v)]
+    c = cdag.compiled()
+    is_input = c.is_input_mask.tolist()
+    is_output = c.is_output_mask.tolist()
+    pred_lists = c.pred_lists
+    out_degree = c.out_degree.tolist()
+    succ_lists = c.succ_lists
+
+    ops = [i for i in c.ids_of(schedule) if not is_input[i]]
     limit = 2 * s
     subsets: List[Set[Vertex]] = []
-    current: Set[Vertex] = set()
-    for v in ops:
-        candidate = current | {v}
-        if (
-            current
-            and (
-                len(in_set(cdag, candidate)) > limit
-                or len(out_set(cdag, candidate)) > limit
-            )
-        ):
-            subsets.append(current)
-            current = {v}
-        else:
-            current = candidate
-    if current:
-        subsets.append(current)
+
+    member = bytearray(c.n)  # membership flags of the *current* subset
+    members: List[int] = []
+    in_ids: Set[int] = set()  # In(V_i): outside vertices feeding the subset
+    out_ids: Set[int] = set()  # Out(V_i): members that are outputs / feed out
+    # Number of successors outside the current subset, per member.
+    outside_succ = [0] * c.n
+
+    def add(i: int):
+        """Add ``i`` to the current subset; return an undo log."""
+        undo: List[Tuple[int, int]] = []  # (what, vertex-id) pairs
+        if i in in_ids:
+            in_ids.remove(i)
+            undo.append((0, i))  # 0: re-add to in_ids
+        for p in pred_lists[i]:
+            if member[p]:
+                outside_succ[p] -= 1
+                undo.append((1, p))  # 1: re-increment outside_succ
+                if outside_succ[p] == 0 and not is_output[p] and p in out_ids:
+                    out_ids.remove(p)
+                    undo.append((2, p))  # 2: re-add to out_ids
+            elif p not in in_ids:
+                in_ids.add(p)
+                undo.append((3, p))  # 3: remove from in_ids
+        member[i] = 1
+        members.append(i)
+        # In a valid schedule no successor of i has fired yet, but count
+        # members defensively so non-topological schedules keep the exact
+        # seed semantics.
+        outside = out_degree[i]
+        for w in succ_lists[i]:
+            if member[w]:
+                outside -= 1
+        outside_succ[i] = outside
+        if is_output[i] or outside > 0:
+            out_ids.add(i)
+            undo.append((4, i))  # 4: remove from out_ids
+        return undo
+
+    def rollback(i: int, undo) -> None:
+        member[i] = 0
+        members.pop()
+        for what, p in reversed(undo):
+            if what == 0:
+                in_ids.add(p)
+            elif what == 1:
+                outside_succ[p] += 1
+            elif what == 2:
+                out_ids.add(p)
+            elif what == 3:
+                in_ids.remove(p)
+            elif what == 4:
+                out_ids.discard(p)
+
+    def close_subset() -> None:
+        verts = c._verts
+        subsets.append({verts[i] for i in members})
+        for i in members:
+            member[i] = 0
+        members.clear()
+        in_ids.clear()
+        out_ids.clear()
+
+    for i in ops:
+        had_members = bool(members)
+        undo = add(i)
+        if had_members and (len(in_ids) > limit or len(out_ids) > limit):
+            rollback(i, undo)
+            close_subset()
+            add(i)
+    if members:
+        close_subset()
     return SPartition(subsets=subsets, s=limit)
 
 

@@ -32,8 +32,14 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
+import numpy as np
 
 from .cdag import CDAG, CDAGError, Vertex
+from .compiled import HAVE_SCIPY, CompiledCDAG
+
+if HAVE_SCIPY:
+    from scipy.sparse import csr_matrix as _csr_matrix
+    from scipy.sparse.csgraph import maximum_flow as _maximum_flow
 
 __all__ = [
     "in_set",
@@ -45,7 +51,9 @@ __all__ = [
     "convex_cut_for_vertex",
     "is_convex_cut",
     "wavefront_of_cut",
+    "WavefrontSolver",
     "min_wavefront",
+    "min_wavefront_rebuild",
     "max_min_wavefront",
     "schedule_wavefronts",
     "max_schedule_wavefront",
@@ -163,27 +171,69 @@ def minimal_dominator_size(
     # If an input is itself in the target set, it must be in any dominator
     # (the trivial path of length 0 ends at it); vertex-splitting handles
     # this naturally because the path source->...->target passes through
-    # the split node.
-    g = nx.DiGraph()
-    INF = float("inf")
-    source, sink = ("__dom_src__",), ("__dom_snk__",)
+    # the split node.  The split graph is shared with the wavefront
+    # machinery via the cached solver — repeated dominator queries on the
+    # same CDAG (e.g. one per partition subset) only toggle terminal arcs.
+    c = cdag.compiled()
+    return c.wavefront_solver().vertex_cut_ids(
+        np.asarray(c.ids_of(starts), dtype=np.int64),
+        np.asarray(c.ids_of(vset), dtype=np.int64),
+    )
 
-    def v_in(v: Vertex) -> Tuple[str, Vertex]:
-        return ("in", v)
 
-    def v_out(v: Vertex) -> Tuple[str, Vertex]:
-        return ("out", v)
+def _split_graph_csr(c: CompiledCDAG, internal_caps: np.ndarray):
+    """CSR arrays of the vertex-splitting flow network of ``c``.
 
-    for v in cdag.vertices:
-        g.add_edge(v_in(v), v_out(v), capacity=1)
-    for u, v in cdag.edges():
-        g.add_edge(v_out(u), v_in(v), capacity=INF)
-    for s in starts:
-        g.add_edge(source, v_in(s), capacity=INF)
-    for t in vset:
-        g.add_edge(v_out(t), sink, capacity=INF)
-    cut_value, _ = nx.minimum_cut(g, source, sink)
-    return int(cut_value)
+    Every row is emitted in sorted-column order:
+
+    * row ``2v`` (= ``in(v)``): the single internal arc to ``2v+1``;
+    * row ``2v+1`` (= ``out(v)``): one INF arc per CDAG successor plus a
+      zero-capacity arc to the sink (activated per query);
+    * row ``2n`` (source): a zero-capacity arc to every ``in(v)``
+      (activated per query);
+    * row ``2n+1`` (sink): empty.
+
+    Returns ``(indptr, indices, data, src_pos, sink_pos, internal_pos)``
+    where the three position arrays index ``data`` slots of the
+    source->in(v), out(v)->sink and in(v)->out(v) arcs of each vertex.
+    """
+    n = c.n
+    m = c.m
+    inf = n + 1
+    nnz = 2 * n + m + n  # internal + sink arcs + edge arcs + source arcs
+
+    out_deg = c.out_degree
+    row_len = np.empty(2 * n + 2, dtype=np.int64)
+    row_len[0 : 2 * n : 2] = 1  # in(v) rows
+    row_len[1 : 2 * n : 2] = out_deg + 1  # out(v) rows (+ sink arc)
+    row_len[2 * n] = n  # source row
+    row_len[2 * n + 1] = 0  # sink row
+    indptr = np.concatenate(([0], np.cumsum(row_len)))
+
+    indices = np.empty(nnz, dtype=np.int32)
+    data = np.zeros(nnz, dtype=np.int64)
+
+    internal_pos = indptr[0 : 2 * n : 2]  # row 2v has exactly one slot
+    indices[internal_pos] = 2 * np.arange(n, dtype=np.int32) + 1
+    data[internal_pos] = internal_caps
+
+    # out(v) rows: successors (sorted ids -> sorted columns) then the sink.
+    sink_pos = indptr[2 : 2 * n + 2 : 2] - 1  # last slot of each out-row
+    for v in range(n):
+        start = indptr[2 * v + 1]
+        succ = np.sort(c.successors_ids(v))
+        indices[start : start + succ.size] = 2 * succ
+        data[start : start + succ.size] = inf
+    indices[sink_pos] = 2 * n + 1
+    # data[sink_pos] stays 0 until a query activates it.
+
+    # Source row: in(v) for every v, ascending.
+    src_start = indptr[2 * n]
+    src_pos = src_start + np.arange(n, dtype=np.int64)
+    indices[src_pos] = 2 * np.arange(n, dtype=np.int32)
+    # data[src_pos] stays 0 until a query activates it.
+
+    return indptr, indices, data, src_pos, sink_pos, internal_pos
 
 
 def has_circuit_between(
@@ -255,37 +305,175 @@ def wavefront_of_cut(cdag: CDAG, s_side: Iterable[Vertex]) -> Set[Vertex]:
     return wf
 
 
+class WavefrontSolver:
+    """Reusable ``|W^min_G(x)|`` solver over a compiled CDAG.
+
+    The vertex-splitting flow network (``in(v) -> out(v)`` capacity 1,
+    CDAG edges INF) is structurally identical for every candidate vertex
+    — only which vertices are forced onto the S/T sides changes.  The
+    seed implementation rebuilt a :class:`networkx.DiGraph` from scratch
+    per candidate, which dominated ``max_min_wavefront``; this solver
+    builds the split graph **once** and per query only toggles the
+    capacities of the pre-allocated source/sink arcs (scipy backend) or
+    adds/removes the two terminal nodes (networkx fallback).
+
+    Obtain instances via ``cdag.compiled().wavefront_solver()`` — they
+    are cached alongside the compiled snapshot, so repeated
+    :func:`min_wavefront` calls on an unmutated CDAG share one network.
+    """
+
+    def __init__(self, compiled: CompiledCDAG) -> None:
+        self._c = compiled
+        n = compiled.n
+        self._inf = n + 1
+        self._source = 2 * n
+        self._sink = 2 * n + 1
+        if HAVE_SCIPY:
+            (
+                indptr,
+                indices,
+                self._data,
+                self._src_pos,
+                self._sink_pos,
+                self._internal_pos,
+            ) = _split_graph_csr(compiled, np.ones(n, dtype=np.int64))
+            self._graph = _csr_matrix(
+                (self._data, indices, indptr), shape=(2 * n + 2, 2 * n + 2)
+            )
+            self._base = None
+        else:  # hoisted networkx fallback: base graph built once
+            g = nx.DiGraph()
+            inf = float("inf")
+            for v in range(n):
+                g.add_edge(2 * v, 2 * v + 1, capacity=1)
+            succ_lists = compiled.succ_lists
+            for v in range(n):
+                for w in succ_lists[v]:
+                    g.add_edge(2 * v + 1, 2 * w, capacity=inf)
+            self._base = g
+
+    def vertex_cut_ids(
+        self,
+        forced_s: np.ndarray,
+        forced_t: np.ndarray,
+        uncuttable: Optional[np.ndarray] = None,
+    ) -> int:
+        """Minimum vertex cut separating ``forced_s`` from ``forced_t``.
+
+        ``uncuttable`` vertices get INF internal capacity (they may lie on
+        a path but can never be cut).  All per-query capacity changes are
+        rolled back before returning, so the shared network stays clean.
+        """
+        if len(forced_s) == 0 or len(forced_t) == 0:
+            return 0  # no source/sink side: nothing to separate
+        if HAVE_SCIPY:
+            data = self._data
+            inf = self._inf
+            int_pos = (
+                self._internal_pos[uncuttable]
+                if uncuttable is not None and uncuttable.size
+                else None
+            )
+            snk_pos = self._sink_pos[forced_t]
+            src_pos = self._src_pos[forced_s]
+            try:
+                if int_pos is not None:
+                    data[int_pos] = inf
+                data[snk_pos] = inf
+                data[src_pos] = inf
+                return int(
+                    _maximum_flow(
+                        self._graph, self._source, self._sink
+                    ).flow_value
+                )
+            finally:
+                # The network is cached and shared across queries: restore
+                # capacities even if max-flow (or an interrupt) blew up.
+                if int_pos is not None:
+                    data[int_pos] = 1
+                data[snk_pos] = 0
+                data[src_pos] = 0
+        g = self._base
+        inf = float("inf")
+        touched = (
+            uncuttable.tolist()
+            if uncuttable is not None and uncuttable.size
+            else []
+        )
+        try:
+            for v in touched:
+                g[2 * v][2 * v + 1]["capacity"] = inf
+            for v in forced_t.tolist():
+                g.add_edge(2 * v + 1, self._sink, capacity=inf)
+            for v in forced_s.tolist():
+                g.add_edge(self._source, 2 * v, capacity=inf)
+            cut_value, _ = nx.minimum_cut(g, self._source, self._sink)
+            return int(cut_value)
+        finally:
+            if self._source in g:
+                g.remove_node(self._source)
+            if self._sink in g:
+                g.remove_node(self._sink)
+            for v in touched:
+                g[2 * v][2 * v + 1]["capacity"] = 1
+
+    def min_wavefront_id(
+        self,
+        x: int,
+        anc: Optional[np.ndarray] = None,
+        desc: Optional[np.ndarray] = None,
+    ) -> int:
+        """``|W^min_G(x)|`` for the vertex with id ``x``.
+
+        ``anc``/``desc`` accept precomputed ``ancestors_ids(x)`` /
+        ``descendants_ids(x)`` arrays so callers that already ran the
+        reachability pass (e.g. for candidate pruning) don't repeat it.
+        """
+        c = self._c
+        if desc is None:
+            desc = c.descendants_ids(x)
+        if desc.size == 0:
+            # x is a sink: the minimum over valid cuts is just {x}.
+            return 1
+        if anc is None:
+            anc = c.ancestors_ids(x)
+        forced_s = np.append(anc, np.int32(x))
+        # Descendants of x can never be wavefront members, so their
+        # internal arcs must not be cuttable.
+        return self.vertex_cut_ids(forced_s, desc, uncuttable=desc)
+
+    def min_wavefront(self, x: Vertex) -> int:
+        """``|W^min_G(x)|`` for a vertex given by name."""
+        return self.min_wavefront_id(self._c.id(x))
+
+
 def min_wavefront(cdag: CDAG, x: Vertex) -> int:
     """``|W^min_G(x)|``: the minimum-cardinality wavefront induced by ``x``.
 
     This is a vertex min-cut between the (mandatory) ``S``-side —
     ``{x} ∪ Anc(x)`` — and the (mandatory) ``T``-side — ``Desc(x)`` —
     where the "cut vertices" are the S-side vertices with an edge into
-    the T-side.  We compute it with the standard vertex-splitting max-flow
-    construction:
+    the T-side, computed with the standard vertex-splitting max-flow
+    construction (see :class:`WavefrontSolver`).  The split graph is
+    cached on the compiled CDAG, so evaluating many candidate vertices of
+    the same CDAG reuses one network.
+    """
+    if x not in cdag:
+        raise CDAGError(f"unknown vertex {x!r}")
+    return cdag.compiled().wavefront_solver().min_wavefront(x)
 
-    * every vertex ``v`` becomes ``v_in -> v_out`` with capacity 1;
-    * every CDAG edge ``u -> v`` becomes ``u_out -> v_in`` with infinite
-      capacity;
-    * a super-source feeds ``x`` and its ancestors (they are forced onto
-      the S side), a super-sink drains the descendants of ``x`` (forced
-      onto the T side);
-    * free vertices (neither ancestor nor descendant) may fall on either
-      side, which the flow network naturally allows.
 
-    If ``x`` has no descendants the wavefront is ``{x}`` itself whenever
-    ``x`` has unfired successors — by convention we return 1 for vertices
-    with successors-free structure only if the graph is a single vertex;
-    otherwise the max-flow value is returned with a floor of 1 when
-    ``x`` has at least one successor.
+def min_wavefront_rebuild(cdag: CDAG, x: Vertex) -> int:
+    """Reference implementation of :func:`min_wavefront`.
+
+    Rebuilds the networkx split graph from scratch for the single vertex
+    ``x`` — exactly the seed code path.  Kept for the equivalence tests
+    and as the baseline the compiled-backend benchmarks compare against.
     """
     if x not in cdag:
         raise CDAGError(f"unknown vertex {x!r}")
     desc = cdag.descendants(x)
     if not desc:
-        # x is a sink: at the instant x fires the wavefront is just {x}
-        # (plus possibly other already-fired vertices, but the *minimum*
-        # over valid cuts is 1).
         return 1
     anc = cdag.ancestors(x)
     forced_s = anc | {x}
@@ -302,8 +490,6 @@ def min_wavefront(cdag: CDAG, x: Vertex) -> int:
         return ("out", v)
 
     for v in cdag.vertices:
-        # Descendants of x are forced onto the T side and can never be
-        # wavefront members, so they must not be usable as cut vertices.
         cap = INF if v in forced_t else 1
         g.add_edge(v_in(v), v_out(v), capacity=cap)
     for u, v in cdag.edges():
@@ -327,15 +513,18 @@ def max_min_wavefront(
     the caller can restrict the candidate set (e.g. to reduction vertices)
     to keep the cost reasonable; with ``candidates=None`` all vertices are
     tried (fine for the small CDAGs used in tests and validation benches).
+    All candidates share one :class:`WavefrontSolver` network.
     """
     best = 0
     best_vertex: Optional[Vertex] = None
-    pool = list(candidates) if candidates is not None else cdag.vertices
-    for x in pool:
-        w = min_wavefront(cdag, x)
+    c = cdag.compiled()
+    solver = c.wavefront_solver()
+    pool = c.ids_of(candidates) if candidates is not None else range(c.n)
+    for i in pool:
+        w = solver.min_wavefront_id(i)
         if w > best:
             best = w
-            best_vertex = x
+            best_vertex = c.vertex(i)
     return best, best_vertex
 
 

@@ -97,57 +97,82 @@ class DistributedExecutor:
             list(schedule) if schedule is not None else topological_schedule(cdag)
         )
         validate_schedule(cdag, schedule)
+        # Everything below runs in the integer-id space of the compiled
+        # CDAG: the replay loop touches every edge once per node, so dict
+        # lookups on tuple-named vertices would dominate at the CDAG sizes
+        # this executor exists for (10^5-10^6 vertices).
+        c = cdag.compiled()
+        n = c.n
+        sched_ids = c.ids_of(schedule)
+        pred_lists = c.pred_lists
+        is_input = c.is_input_mask.tolist()
+
+        assign: List[int]
         if assignment is None:
             if partitioner is not None:
-                assignment = {v: int(partitioner(v)) % self.num_nodes
-                              for v in cdag.vertices}
+                assign = [
+                    int(partitioner(c.vertex(i))) % self.num_nodes
+                    for i in range(n)
+                ]
             else:
-                ops = [v for v in schedule if not cdag.is_input(v)]
+                ops = [i for i in sched_ids if not is_input[i]]
                 per = max(1, (len(ops) + self.num_nodes - 1) // self.num_nodes)
-                assignment = {}
-                for i, v in enumerate(ops):
-                    assignment[v] = min(i // per, self.num_nodes - 1)
-                for v in cdag.vertices:
-                    if cdag.is_input(v):
-                        succ = cdag.successors(v)
-                        assignment[v] = assignment[succ[0]] if succ else 0
-        missing = [v for v in cdag.vertices if v not in assignment]
-        if missing:
-            raise ValueError(f"assignment misses vertices, e.g. {missing[:3]}")
-        bad = [v for v, r in assignment.items() if not 0 <= r < self.num_nodes]
-        if bad:
-            raise ValueError(f"assignment maps to unknown nodes, e.g. {bad[:3]}")
+                assign = [0] * n
+                for k, i in enumerate(ops):
+                    assign[i] = min(k // per, self.num_nodes - 1)
+                succ_lists = c.succ_lists
+                for i in range(n):
+                    if is_input[i]:
+                        succ = succ_lists[i]
+                        assign[i] = assign[succ[0]] if succ else 0
+        else:
+            missing = [v for v in cdag.vertices if v not in assignment]
+            if missing:
+                raise ValueError(
+                    f"assignment misses vertices, e.g. {missing[:3]}"
+                )
+            bad = [
+                v for v, r in assignment.items()
+                if not 0 <= r < self.num_nodes
+            ]
+            if bad:
+                raise ValueError(
+                    f"assignment maps to unknown nodes, e.g. {bad[:3]}"
+                )
+            assign = [assignment[c.vertex(i)] for i in range(n)]
 
         report = DistributedExecutionReport()
-        caches = {
-            r: CacheSimulator(self.cache_words, policy=self.policy)
-            for r in range(self.num_nodes)
-        }
+        caches = [
+            CacheSimulator(self.cache_words, policy=self.policy)
+            for _ in range(self.num_nodes)
+        ]
         # Values already present in a node's memory (owned inputs or
         # previously received copies) need no new horizontal transfer.
-        resident: Dict[int, set] = {r: set() for r in range(self.num_nodes)}
-        for v in cdag.vertices:
-            if cdag.is_input(v):
-                resident[assignment[v]].add(v)
+        resident: List[set] = [set() for _ in range(self.num_nodes)]
+        for i in range(n):
+            if is_input[i]:
+                resident[assign[i]].add(i)
 
-        horizontal = {r: 0 for r in range(self.num_nodes)}
-        computes = {r: 0 for r in range(self.num_nodes)}
+        horizontal = [0] * self.num_nodes
+        computes = [0] * self.num_nodes
 
-        for v in schedule:
-            if cdag.is_input(v):
+        for i in sched_ids:
+            if is_input[i]:
                 continue
-            node = assignment[v]
+            node = assign[i]
             cache = caches[node]
-            for u in cdag.predecessors(v):
-                if u not in resident[node]:
+            res = resident[node]
+            access = cache.access
+            for u in pred_lists[i]:
+                if u not in res:
                     horizontal[node] += 1
-                    resident[node].add(u)
-                cache.access(u, write=False)
-            cache.access(v, write=True)
-            resident[node].add(v)
+                    res.add(u)
+                access(u, write=False)
+            access(i, write=True)
+            res.add(i)
             computes[node] += 1
 
-        for r, cache in caches.items():
+        for r, cache in enumerate(caches):
             cache.flush()
             report.vertical_per_node[r] = cache.stats.vertical_traffic
             report.horizontal_per_node[r] = horizontal[r]

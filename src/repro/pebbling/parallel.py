@@ -34,6 +34,12 @@ Cost accounting
   (the quantity bounded by Theorem 7), plus R1 loads from blue storage.
 * ``compute_per_processor[p]`` counts R6 firings by processor ``p``,
   needed to identify the maximally loaded processor group.
+
+Like the sequential engines, the P-RBW engine runs on the compiled
+integer-indexed backend: pebble shade sets are keyed by vertex id, and
+the ``*_id`` rule methods let the owner-computes strategy skip vertex
+hashing.  ``pebbles``/``blue``/``white``/``occupancy`` remain available
+as vertex-space views.
 """
 
 from __future__ import annotations
@@ -42,74 +48,173 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.cdag import CDAG, Vertex
 from .hierarchy import MemoryHierarchy
-from .state import GameError, GameRecord, Move, MoveKind
+from .state import (
+    CompiledEngineMixin,
+    GameError,
+    GameRecord,
+    Move,
+    MoveKind,
+    VertexSetView,
+)
 
 __all__ = ["ParallelRBWPebbleGame"]
 
 Instance = Tuple[int, int]  # (level, index)
 
+_EMPTY: frozenset = frozenset()
 
-class ParallelRBWPebbleGame:
+
+class _PebbleMapView:
+    """Vertex-space mapping view of the id-keyed pebble shade sets."""
+
+    __slots__ = ("_pebbles", "_c")
+
+    def __init__(self, pebbles: Dict[int, Set[Instance]], compiled) -> None:
+        self._pebbles = pebbles
+        self._c = compiled
+
+    def __getitem__(self, v: Vertex) -> Set[Instance]:
+        return self._pebbles[self._c._index[v]]
+
+    def get(self, v: Vertex, default=None):
+        i = self._c._index.get(v)
+        if i is None:
+            return default
+        got = self._pebbles.get(i)
+        return got if got is not None else default
+
+    def __contains__(self, v: Vertex) -> bool:
+        i = self._c._index.get(v)
+        return i is not None and i in self._pebbles
+
+    def __iter__(self):
+        verts = self._c._verts
+        return iter([verts[i] for i in self._pebbles])
+
+    def __len__(self) -> int:
+        return len(self._pebbles)
+
+
+class _OccupancyMapView:
+    """Vertex-space view of per-instance occupancy (ids -> vertex names)."""
+
+    __slots__ = ("_occupancy", "_c")
+
+    def __init__(self, occupancy: Dict[Instance, Set[int]], compiled) -> None:
+        self._occupancy = occupancy
+        self._c = compiled
+
+    def __getitem__(self, inst: Instance) -> Set[Vertex]:
+        verts = self._c._verts
+        return {verts[i] for i in self._occupancy[inst]}
+
+    def get(self, inst: Instance, default=None):
+        got = self._occupancy.get(inst)
+        if got is None:
+            return default
+        verts = self._c._verts
+        return {verts[i] for i in got}
+
+    def __contains__(self, inst: Instance) -> bool:
+        return inst in self._occupancy
+
+    def __iter__(self):
+        return iter(self._occupancy)
+
+    def __len__(self) -> int:
+        return len(self._occupancy)
+
+
+class ParallelRBWPebbleGame(CompiledEngineMixin):
     """Stateful engine for the parallel RBW pebble game."""
 
     def __init__(self, cdag: CDAG, hierarchy: MemoryHierarchy) -> None:
         cdag.validate()
         self.cdag = cdag
         self.hierarchy = hierarchy
+        self._bind()
         self.reset()
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
-        #: vertex -> set of (level, index) shades currently on it
-        self.pebbles: Dict[Vertex, Set[Instance]] = {}
-        #: (level, index) -> set of vertices currently holding that shade
-        self.occupancy: Dict[Instance, Set[Vertex]] = {}
-        self.blue: Set[Vertex] = set(self.cdag.inputs)
-        self.white: Set[Vertex] = set()
+        """Restore the initial state (refreshing id caches if the CDAG
+        was mutated since the last bind; mid-game mutation is not
+        supported — call :meth:`reset` after mutating)."""
+        self._rebind_if_stale()
+        #: vertex id -> set of (level, index) shades currently on it
+        self.pebbles_ids: Dict[int, Set[Instance]] = {}
+        #: (level, index) -> set of vertex ids currently holding that shade
+        self.occupancy_ids: Dict[Instance, Set[int]] = {}
+        self.blue_ids: Set[int] = set(self._input_ids)
+        self.white_ids: Set[int] = set()
         self.record = GameRecord()
+
+    # ------------------------------------------------------------------
+    # Vertex-space views (API compatibility; not used on hot paths)
+    # ------------------------------------------------------------------
+    @property
+    def pebbles(self) -> _PebbleMapView:
+        """Mapping view: vertex -> set of shades currently on it."""
+        return _PebbleMapView(self.pebbles_ids, self._c)
+
+    @property
+    def occupancy(self) -> _OccupancyMapView:
+        """Mapping view: storage instance -> set of resident vertices."""
+        return _OccupancyMapView(self.occupancy_ids, self._c)
+
+    @property
+    def blue(self) -> VertexSetView:
+        return VertexSetView(self.blue_ids, self._c)
+
+    @property
+    def white(self) -> VertexSetView:
+        return VertexSetView(self.white_ids, self._c)
 
     # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------
-    def _shades_on(self, v: Vertex) -> Set[Instance]:
-        return self.pebbles.get(v, set())
+    def shades_ids(self, i: int):
+        """The shade set of vertex id ``i`` (live set; possibly empty)."""
+        got = self.pebbles_ids.get(i)
+        return got if got is not None else _EMPTY
 
-    def _has_level(self, v: Vertex, level: int) -> bool:
-        return any(lvl == level for (lvl, _i) in self._shades_on(v))
-
-    def _place(self, v: Vertex, inst: Instance) -> None:
+    def _place(self, i: int, inst: Instance) -> None:
         level, index = inst
         self.hierarchy._check_level(level)
         if not 0 <= index < self.hierarchy.instances(level):
             raise GameError(f"no instance {index} at level {level}")
-        if inst in self._shades_on(v):
+        if inst in self.shades_ids(i):
             raise GameError(
-                f"vertex {v!r} already holds a pebble of shade {inst}"
+                f"vertex {self._c.vertex(i)!r} already holds a pebble of "
+                f"shade {inst}"
             )
         cap = self.hierarchy.capacity(level)
-        used = self.occupancy.setdefault(inst, set())
+        used = self.occupancy_ids.setdefault(inst, set())
         if cap is not None and len(used) >= cap:
             raise GameError(
                 f"storage {inst} is full (capacity {cap}); delete first"
             )
-        used.add(v)
-        self.pebbles.setdefault(v, set()).add(inst)
-
-    def _white(self, v: Vertex) -> None:
-        self.white.add(v)
+        used.add(i)
+        self.pebbles_ids.setdefault(i, set()).add(inst)
 
     # ------------------------------------------------------------------
     # Moves
     # ------------------------------------------------------------------
     def load(self, v: Vertex, node: int) -> None:
         """R1: place the level-L pebble of node ``node`` on a blue vertex."""
-        if v not in self.blue:
-            raise GameError(f"R1 violated: {v!r} has no blue pebble")
+        self.load_id(self._id(v), node)
+
+    def load_id(self, i: int, node: int) -> None:
+        """R1 in id space."""
+        if i not in self.blue_ids:
+            raise GameError(
+                f"R1 violated: {self._c.vertex(i)!r} has no blue pebble"
+            )
         L = self.hierarchy.num_levels
         inst = (L, node)
-        self._place(v, inst)
-        self._white(v)
-        self.record.append(Move(MoveKind.LOAD, v, location=inst))
+        self._place(i, inst)
+        self.white_ids.add(i)
+        self.record.append(Move(MoveKind.LOAD, self._c.vertex(i), location=inst))
         self.record.horizontal_io[node] = (
             self.record.horizontal_io.get(node, 0) + 1
         )
@@ -117,30 +222,40 @@ class ParallelRBWPebbleGame:
     def store(self, v: Vertex, node: int) -> None:
         """R2: place a blue pebble on a vertex holding node ``node``'s
         level-L pebble."""
+        self.store_id(self._id(v), node)
+
+    def store_id(self, i: int, node: int) -> None:
+        """R2 in id space."""
         L = self.hierarchy.num_levels
         inst = (L, node)
-        if inst not in self._shades_on(v):
+        if inst not in self.shades_ids(i):
             raise GameError(
-                f"R2 violated: {v!r} does not hold the level-{L} pebble of "
-                f"node {node}"
+                f"R2 violated: {self._c.vertex(i)!r} does not hold the "
+                f"level-{L} pebble of node {node}"
             )
-        self.blue.add(v)
-        self.record.append(Move(MoveKind.STORE, v, location=inst))
+        self.blue_ids.add(i)
+        self.record.append(Move(MoveKind.STORE, self._c.vertex(i), location=inst))
 
     def remote_get(self, v: Vertex, dst_node: int, src_node: int) -> None:
         """R3: copy a value between two level-L memories (horizontal)."""
+        self.remote_get_id(self._id(v), dst_node, src_node)
+
+    def remote_get_id(self, i: int, dst_node: int, src_node: int) -> None:
+        """R3 in id space."""
         if dst_node == src_node:
             raise GameError("R3 violated: source and destination coincide")
         L = self.hierarchy.num_levels
         src = (L, src_node)
         dst = (L, dst_node)
-        if src not in self._shades_on(v):
+        if src not in self.shades_ids(i):
             raise GameError(
-                f"R3 violated: {v!r} does not hold the level-{L} pebble of "
-                f"node {src_node}"
+                f"R3 violated: {self._c.vertex(i)!r} does not hold the "
+                f"level-{L} pebble of node {src_node}"
             )
-        self._place(v, dst)
-        self.record.append(Move(MoveKind.REMOTE_GET, v, location=dst, source=src))
+        self._place(i, dst)
+        self.record.append(
+            Move(MoveKind.REMOTE_GET, self._c.vertex(i), location=dst, source=src)
+        )
         self.record.horizontal_io[dst_node] = (
             self.record.horizontal_io.get(dst_node, 0) + 1
         )
@@ -151,18 +266,27 @@ class ParallelRBWPebbleGame:
         ``level`` must satisfy ``1 <= level < L`` and the vertex must hold
         the pebble of the parent of ``(level, index)``.
         """
+        self.move_up_id(self._id(v), level, index)
+
+    def move_up_id(self, i: int, level: int, index: int) -> None:
+        """R4 in id space."""
         L = self.hierarchy.num_levels
         if not 1 <= level < L:
             raise GameError(f"R4 violated: level must be in 1..{L-1}")
         parent = self.hierarchy.parent_instance(level, index)
-        if parent not in self._shades_on(v):
+        if parent not in self.shades_ids(i):
             raise GameError(
-                f"R4 violated: {v!r} does not hold the pebble of parent "
-                f"{parent} of ({level}, {index})"
+                f"R4 violated: {self._c.vertex(i)!r} does not hold the pebble "
+                f"of parent {parent} of ({level}, {index})"
             )
-        self._place(v, (level, index))
+        self._place(i, (level, index))
         self.record.append(
-            Move(MoveKind.MOVE_UP, v, location=(level, index), source=parent)
+            Move(
+                MoveKind.MOVE_UP,
+                self._c.vertex(i),
+                location=(level, index),
+                source=parent,
+            )
         )
         # Traffic crosses the link between `parent` and its children.
         self.record.vertical_io[parent] = (
@@ -175,21 +299,26 @@ class ParallelRBWPebbleGame:
         ``level`` must satisfy ``1 < level <= L`` and the vertex must hold
         the pebble of one of the children of ``(level, index)``.
         """
+        self.move_down_id(self._id(v), level, index)
+
+    def move_down_id(self, i: int, level: int, index: int) -> None:
+        """R5 in id space."""
         L = self.hierarchy.num_levels
         if not 1 < level <= L:
             raise GameError(f"R5 violated: level must be in 2..{L}")
         children = self.hierarchy.child_instances(level, index)
-        holders = [c for c in children if c in self._shades_on(v)]
+        shades = self.shades_ids(i)
+        holders = [c for c in children if c in shades]
         if not holders:
             raise GameError(
-                f"R5 violated: {v!r} holds no pebble of a child of "
-                f"({level}, {index})"
+                f"R5 violated: {self._c.vertex(i)!r} holds no pebble of a "
+                f"child of ({level}, {index})"
             )
-        self._place(v, (level, index))
+        self._place(i, (level, index))
         self.record.append(
             Move(
                 MoveKind.MOVE_DOWN,
-                v,
+                self._c.vertex(i),
                 location=(level, index),
                 source=holders[0],
             )
@@ -201,65 +330,81 @@ class ParallelRBWPebbleGame:
     def compute(self, v: Vertex, processor: int) -> None:
         """R6: fire ``v`` on ``processor``; predecessors must hold that
         processor's level-1 pebbles."""
-        if v in self.white:
+        self.compute_id(self._id(v), processor)
+
+    def compute_id(self, i: int, processor: int) -> None:
+        """R6 in id space."""
+        if i in self.white_ids:
             raise GameError(
-                f"R6 violated: {v!r} already has a white pebble "
-                "(recomputation is prohibited)"
+                f"R6 violated: {self._c.vertex(i)!r} already has a white "
+                "pebble (recomputation is prohibited)"
             )
-        if self.cdag.is_input(v):
+        if self._is_input[i]:
             raise GameError(
-                f"R6 violated: input vertex {v!r} must be loaded, not computed"
+                f"R6 violated: input vertex {self._c.vertex(i)!r} must be "
+                "loaded, not computed"
             )
         if not 0 <= processor < self.hierarchy.num_processors:
             raise GameError(f"unknown processor {processor}")
         reg = (1, processor)
         missing = [
-            p
-            for p in self.cdag.predecessors(v)
-            if reg not in self._shades_on(p)
+            p for p in self._pred_lists[i] if reg not in self.shades_ids(p)
         ]
         if missing:
+            names = [self._c.vertex(p) for p in missing]
             raise GameError(
-                f"R6 violated: predecessors of {v!r} without level-1 pebbles "
-                f"of processor {processor}: {missing[:3]}"
+                f"R6 violated: predecessors of {self._c.vertex(i)!r} without "
+                f"level-1 pebbles of processor {processor}: {names[:3]}"
             )
-        self._place(v, reg)
-        self._white(v)
-        self.record.append(Move(MoveKind.COMPUTE, v, location=reg))
+        self._place(i, reg)
+        self.white_ids.add(i)
+        self.record.append(Move(MoveKind.COMPUTE, self._c.vertex(i), location=reg))
         self.record.compute_per_processor[processor] = (
             self.record.compute_per_processor.get(processor, 0) + 1
         )
 
     def delete(self, v: Vertex, level: int, index: int) -> None:
         """R7: remove the ``(level, index)`` pebble from ``v``."""
+        self.delete_id(self._id(v), level, index)
+
+    def delete_id(self, i: int, level: int, index: int) -> None:
+        """R7 in id space."""
         inst = (level, index)
-        if inst not in self._shades_on(v):
+        got = self.pebbles_ids.get(i)
+        if not got or inst not in got:
             raise GameError(
-                f"R7 violated: {v!r} holds no pebble of shade {inst}"
+                f"R7 violated: {self._c.vertex(i)!r} holds no pebble of "
+                f"shade {inst}"
             )
-        self.pebbles[v].remove(inst)
-        self.occupancy[inst].discard(v)
-        self.record.append(Move(MoveKind.DELETE, v, location=inst))
+        got.remove(inst)
+        self.occupancy_ids[inst].discard(i)
+        self.record.append(Move(MoveKind.DELETE, self._c.vertex(i), location=inst))
 
     # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------
     def is_complete(self) -> bool:
-        for v in self.cdag.vertices:
-            if self.cdag.is_input(v):
+        white = self.white_ids
+        for i in range(self._c.n):
+            if self._is_input[i]:
                 continue
-            if v not in self.white:
+            if i not in white:
                 return False
-        return all(v in self.blue for v in self.cdag.outputs)
+        blue = self.blue_ids
+        return all(i in blue for i in self._output_ids)
 
     def assert_complete(self) -> None:
         if not self.is_complete():
             unfired = [
-                v
-                for v in self.cdag.vertices
-                if v not in self.white and not self.cdag.is_input(v)
+                self._c.vertex(i)
+                for i in range(self._c.n)
+                if i not in self.white_ids and not self._is_input[i]
             ]
-            missing_out = [v for v in self.cdag.outputs if v not in self.blue]
+            missing_out = [
+                self._c.vertex(i)
+                for i in self._output_ids
+                if i not in self.blue_ids
+            ]
             raise GameError(
                 "parallel game incomplete: "
                 f"{len(unfired)} unfired operations (e.g. {unfired[:3]}), "

@@ -17,10 +17,11 @@ make lower bounds *composable* across sub-CDAGs (Section 3):
 A complete game ends with white pebbles on **all** vertices (everything
 has been evaluated or loaded) and blue pebbles on all output vertices.
 
-The engine tracks, in addition to the pebble sets, whether a stored copy
-exists for each white-pebbled value, so that illegal "resurrection" of an
-evicted-but-never-stored value is caught immediately rather than at the
-end of the game.
+Like the red-blue engine, this engine runs on the compiled
+integer-indexed CDAG backend: the red/blue/white pebble sets hold vertex
+ids, and the ``*_id`` methods let the spill strategies avoid vertex-name
+hashing entirely.  ``red``/``blue``/``white`` remain available as
+set-like vertex-space views.
 """
 
 from __future__ import annotations
@@ -28,12 +29,19 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..core.cdag import CDAG, Vertex
-from .state import GameError, GameRecord, Move, MoveKind
+from .state import (
+    CompiledEngineMixin,
+    GameError,
+    GameRecord,
+    Move,
+    MoveKind,
+    VertexSetView,
+)
 
 __all__ = ["RBWPebbleGame"]
 
 
-class RBWPebbleGame:
+class RBWPebbleGame(CompiledEngineMixin):
     """Stateful engine for the Red-Blue-White pebble game.
 
     Parameters
@@ -50,14 +58,37 @@ class RBWPebbleGame:
         cdag.validate()
         self.cdag = cdag
         self.num_red = num_red
+        self._bind()
         self.reset()
+
+    def _bind_extra(self) -> None:
+        self._out_degree = self._c.out_degree.tolist()
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
-        self.red: Set[Vertex] = set()
-        self.blue: Set[Vertex] = set(self.cdag.inputs)
-        self.white: Set[Vertex] = set()
+        """Restore the initial state (refreshing id caches if the CDAG
+        was mutated since the last bind; mid-game mutation is not
+        supported — call :meth:`reset` after mutating)."""
+        self._rebind_if_stale()
+        self.red_ids: Set[int] = set()
+        self.blue_ids: Set[int] = set(self._input_ids)
+        self.white_ids: Set[int] = set()
         self.record = GameRecord()
+
+    @property
+    def red(self) -> VertexSetView:
+        """Vertices currently holding a red pebble (live view)."""
+        return VertexSetView(self.red_ids, self._c)
+
+    @property
+    def blue(self) -> VertexSetView:
+        """Vertices currently holding a blue pebble (live view)."""
+        return VertexSetView(self.blue_ids, self._c)
+
+    @property
+    def white(self) -> VertexSetView:
+        """Vertices currently holding a white pebble (live view)."""
+        return VertexSetView(self.white_ids, self._c)
 
     # ------------------------------------------------------------------
     # Moves
@@ -65,57 +96,88 @@ class RBWPebbleGame:
     def load(self, v: Vertex) -> None:
         """R1: red pebble on a blue-pebbled vertex; also places a white
         pebble if not already present."""
-        if v not in self.blue:
-            raise GameError(f"R1 violated: {v!r} has no blue pebble")
-        if v in self.red:
-            raise GameError(f"R1 wasted: {v!r} already has a red pebble")
-        self._acquire_red(v)
-        self.white.add(v)
-        self.record.append(Move(MoveKind.LOAD, v))
+        self.load_id(self._id(v))
+
+    def load_id(self, i: int) -> None:
+        """R1 in id space."""
+        if i not in self.blue_ids:
+            raise GameError(
+                f"R1 violated: {self._c.vertex(i)!r} has no blue pebble"
+            )
+        if i in self.red_ids:
+            raise GameError(
+                f"R1 wasted: {self._c.vertex(i)!r} already has a red pebble"
+            )
+        self._acquire_red(i)
+        self.white_ids.add(i)
+        self.record.append(Move(MoveKind.LOAD, self._c.vertex(i)))
 
     def store(self, v: Vertex) -> None:
         """R2: blue pebble on a red-pebbled vertex."""
-        if v not in self.red:
-            raise GameError(f"R2 violated: {v!r} has no red pebble")
-        self.blue.add(v)
-        self.record.append(Move(MoveKind.STORE, v))
+        self.store_id(self._id(v))
+
+    def store_id(self, i: int) -> None:
+        """R2 in id space."""
+        if i not in self.red_ids:
+            raise GameError(
+                f"R2 violated: {self._c.vertex(i)!r} has no red pebble"
+            )
+        self.blue_ids.add(i)
+        self.record.append(Move(MoveKind.STORE, self._c.vertex(i)))
 
     def compute(self, v: Vertex) -> None:
         """R3: fire ``v`` if it has no white pebble and all predecessors
         hold red pebbles.  Places a red and a white pebble on ``v``."""
-        if v in self.white:
+        self.compute_id(self._id(v))
+
+    def compute_id(self, i: int) -> None:
+        """R3 in id space."""
+        if i in self.white_ids:
             raise GameError(
-                f"R3 violated: {v!r} already has a white pebble "
-                "(recomputation is prohibited in the RBW game)"
+                f"R3 violated: {self._c.vertex(i)!r} already has a white "
+                "pebble (recomputation is prohibited in the RBW game)"
             )
-        if self.cdag.is_input(v):
+        if self._is_input[i]:
             raise GameError(
-                f"R3 violated: input vertex {v!r} must be loaded, not computed"
+                f"R3 violated: input vertex {self._c.vertex(i)!r} must be "
+                "loaded, not computed"
             )
-        missing = [p for p in self.cdag.predecessors(v) if p not in self.red]
-        if missing:
-            raise GameError(
-                f"R3 violated: predecessors of {v!r} without red pebbles: "
-                f"{missing[:3]}"
-            )
-        self._acquire_red(v)
-        self.white.add(v)
-        self.record.append(Move(MoveKind.COMPUTE, v))
+        red = self.red_ids
+        preds = self._pred_lists[i]
+        for p in preds:
+            if p not in red:
+                missing = [
+                    self._c.vertex(q) for q in preds if q not in red
+                ]
+                raise GameError(
+                    f"R3 violated: predecessors of {self._c.vertex(i)!r} "
+                    f"without red pebbles: {missing[:3]}"
+                )
+        self._acquire_red(i)
+        self.white_ids.add(i)
+        self.record.append(Move(MoveKind.COMPUTE, self._c.vertex(i)))
 
     def delete(self, v: Vertex) -> None:
         """R4: remove a red pebble."""
-        if v not in self.red:
-            raise GameError(f"R4 violated: {v!r} has no red pebble")
-        self.red.remove(v)
-        self.record.append(Move(MoveKind.DELETE, v))
+        self.delete_id(self._id(v))
 
-    def _acquire_red(self, v: Vertex) -> None:
-        if len(self.red) >= self.num_red:
+    def delete_id(self, i: int) -> None:
+        """R4 in id space."""
+        if i not in self.red_ids:
+            raise GameError(
+                f"R4 violated: {self._c.vertex(i)!r} has no red pebble"
+            )
+        self.red_ids.remove(i)
+        self.record.append(Move(MoveKind.DELETE, self._c.vertex(i)))
+
+    def _acquire_red(self, i: int) -> None:
+        if len(self.red_ids) >= self.num_red:
             raise GameError(
                 f"out of red pebbles (S={self.num_red}); delete one first"
             )
-        self.red.add(v)
-        self.record.peak_red = max(self.record.peak_red, len(self.red))
+        self.red_ids.add(i)
+        if len(self.red_ids) > self.record.peak_red:
+            self.record.peak_red = len(self.red_ids)
 
     # ------------------------------------------------------------------
     # Completion
@@ -131,22 +193,28 @@ class RBWPebbleGame:
         check below requires white pebbles on all *operation* vertices
         plus any input that has successors.
         """
-        for v in self.cdag.vertices:
-            if self.cdag.is_input(v):
-                if self.cdag.out_degree(v) > 0 and v not in self.white:
+        white = self.white_ids
+        for i in range(self._c.n):
+            if self._is_input[i]:
+                if self._out_degree[i] > 0 and i not in white:
                     return False
-            elif v not in self.white:
+            elif i not in white:
                 return False
-        return all(v in self.blue for v in self.cdag.outputs)
+        blue = self.blue_ids
+        return all(i in blue for i in self._output_ids)
 
     def assert_complete(self) -> None:
         if not self.is_complete():
             unfired = [
-                v
-                for v in self.cdag.vertices
-                if v not in self.white and not self.cdag.is_input(v)
+                self._c.vertex(i)
+                for i in range(self._c.n)
+                if i not in self.white_ids and not self._is_input[i]
             ]
-            missing_out = [v for v in self.cdag.outputs if v not in self.blue]
+            missing_out = [
+                self._c.vertex(i)
+                for i in self._output_ids
+                if i not in self.blue_ids
+            ]
             raise GameError(
                 "game incomplete: "
                 f"{len(unfired)} unfired operations (e.g. {unfired[:3]}), "

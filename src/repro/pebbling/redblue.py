@@ -18,6 +18,13 @@ Unlike the RBW variant (:mod:`repro.pebbling.rbw`), recomputation is
 allowed: R3 may fire the same vertex multiple times.  The engine below is
 a *rule checker and cost accountant*: strategies (how to choose moves)
 live in :mod:`repro.pebbling.strategies`.
+
+Internally the engine runs on the compiled integer-indexed CDAG backend
+(:meth:`CDAG.compiled`): pebbles are sets of vertex *ids*, predecessor
+checks walk precomputed id lists, and vertex names only appear at the API
+boundary (the ``*_id`` methods skip even that conversion — the spill
+strategies use them directly).  ``red``/``blue`` remain available as
+set-like views in vertex space.
 """
 
 from __future__ import annotations
@@ -25,12 +32,19 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..core.cdag import CDAG, Vertex
-from .state import GameError, GameRecord, Move, MoveKind
+from .state import (
+    CompiledEngineMixin,
+    GameError,
+    GameRecord,
+    Move,
+    MoveKind,
+    VertexSetView,
+)
 
 __all__ = ["RedBluePebbleGame"]
 
 
-class RedBluePebbleGame:
+class RedBluePebbleGame(CompiledEngineMixin):
     """Stateful engine for the Hong-Kung red-blue pebble game.
 
     Parameters
@@ -52,72 +66,127 @@ class RedBluePebbleGame:
             cdag.validate(hong_kung=True)
         self.cdag = cdag
         self.num_red = num_red
+        self._bind()
         self.reset()
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
-        """Restore the initial state: blue pebbles on inputs, nothing else."""
-        self.red: Set[Vertex] = set()
-        self.blue: Set[Vertex] = set(self.cdag.inputs)
+        """Restore the initial state: blue pebbles on inputs, nothing else.
+
+        If the CDAG was mutated (new edges, Theorem 3 re-tagging) since
+        the engine last bound to it, the id-space caches are refreshed so
+        the new game plays against the current graph.  Mutating the CDAG
+        *mid-game* is not supported — call :meth:`reset` after mutating.
+        """
+        self._rebind_if_stale()
+        self.red_ids: Set[int] = set()
+        self.blue_ids: Set[int] = set(self._input_ids)
         self.record = GameRecord()
+
+    @property
+    def red(self) -> VertexSetView:
+        """Vertices currently holding a red pebble (live view)."""
+        return VertexSetView(self.red_ids, self._c)
+
+    @property
+    def blue(self) -> VertexSetView:
+        """Vertices currently holding a blue pebble (live view)."""
+        return VertexSetView(self.blue_ids, self._c)
 
     # ------------------------------------------------------------------
     # Moves (each validates its rule and updates the cost record)
     # ------------------------------------------------------------------
     def load(self, v: Vertex) -> None:
         """R1: place a red pebble on a blue-pebbled vertex."""
-        if v not in self.blue:
-            raise GameError(f"R1 violated: {v!r} has no blue pebble")
-        if v in self.red:
-            raise GameError(f"R1 wasted: {v!r} already has a red pebble")
-        self._acquire_red(v)
-        self.record.append(Move(MoveKind.LOAD, v))
+        self.load_id(self._id(v))
+
+    def load_id(self, i: int) -> None:
+        """R1 in id space."""
+        if i not in self.blue_ids:
+            raise GameError(
+                f"R1 violated: {self._c.vertex(i)!r} has no blue pebble"
+            )
+        if i in self.red_ids:
+            raise GameError(
+                f"R1 wasted: {self._c.vertex(i)!r} already has a red pebble"
+            )
+        self._acquire_red(i)
+        self.record.append(Move(MoveKind.LOAD, self._c.vertex(i)))
 
     def store(self, v: Vertex) -> None:
         """R2: place a blue pebble on a red-pebbled vertex."""
-        if v not in self.red:
-            raise GameError(f"R2 violated: {v!r} has no red pebble")
-        self.blue.add(v)
-        self.record.append(Move(MoveKind.STORE, v))
+        self.store_id(self._id(v))
+
+    def store_id(self, i: int) -> None:
+        """R2 in id space."""
+        if i not in self.red_ids:
+            raise GameError(
+                f"R2 violated: {self._c.vertex(i)!r} has no red pebble"
+            )
+        self.blue_ids.add(i)
+        self.record.append(Move(MoveKind.STORE, self._c.vertex(i)))
 
     def compute(self, v: Vertex) -> None:
         """R3: fire a non-input vertex whose predecessors all hold red pebbles."""
-        if self.cdag.is_input(v):
-            raise GameError(f"R3 violated: {v!r} is an input vertex")
-        missing = [p for p in self.cdag.predecessors(v) if p not in self.red]
-        if missing:
+        self.compute_id(self._id(v))
+
+    def compute_id(self, i: int) -> None:
+        """R3 in id space."""
+        if self._is_input[i]:
             raise GameError(
-                f"R3 violated: predecessors of {v!r} without red pebbles: "
-                f"{missing[:3]}"
+                f"R3 violated: {self._c.vertex(i)!r} is an input vertex"
             )
-        if v not in self.red:
-            self._acquire_red(v)
-        self.record.append(Move(MoveKind.COMPUTE, v))
+        red = self.red_ids
+        preds = self._pred_lists[i]
+        for p in preds:
+            if p not in red:
+                missing = [
+                    self._c.vertex(q) for q in preds if q not in red
+                ]
+                raise GameError(
+                    f"R3 violated: predecessors of {self._c.vertex(i)!r} "
+                    f"without red pebbles: {missing[:3]}"
+                )
+        if i not in red:
+            self._acquire_red(i)
+        self.record.append(Move(MoveKind.COMPUTE, self._c.vertex(i)))
 
     def delete(self, v: Vertex) -> None:
         """R4: remove a red pebble."""
-        if v not in self.red:
-            raise GameError(f"R4 violated: {v!r} has no red pebble")
-        self.red.remove(v)
-        self.record.append(Move(MoveKind.DELETE, v))
+        self.delete_id(self._id(v))
 
-    def _acquire_red(self, v: Vertex) -> None:
-        if len(self.red) >= self.num_red:
+    def delete_id(self, i: int) -> None:
+        """R4 in id space."""
+        if i not in self.red_ids:
+            raise GameError(
+                f"R4 violated: {self._c.vertex(i)!r} has no red pebble"
+            )
+        self.red_ids.remove(i)
+        self.record.append(Move(MoveKind.DELETE, self._c.vertex(i)))
+
+    def _acquire_red(self, i: int) -> None:
+        if len(self.red_ids) >= self.num_red:
             raise GameError(
                 f"out of red pebbles (S={self.num_red}); delete one first"
             )
-        self.red.add(v)
-        self.record.peak_red = max(self.record.peak_red, len(self.red))
+        self.red_ids.add(i)
+        if len(self.red_ids) > self.record.peak_red:
+            self.record.peak_red = len(self.red_ids)
 
     # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------
     def is_complete(self) -> bool:
         """A complete game ends with blue pebbles on every output vertex."""
-        return all(v in self.blue for v in self.cdag.outputs)
+        blue = self.blue_ids
+        return all(i in blue for i in self._output_ids)
 
     def assert_complete(self) -> None:
-        missing = [v for v in self.cdag.outputs if v not in self.blue]
+        missing = [
+            self._c.vertex(i)
+            for i in self._output_ids
+            if i not in self.blue_ids
+        ]
         if missing:
             raise GameError(
                 f"game incomplete: outputs without blue pebbles: {missing[:5]}"

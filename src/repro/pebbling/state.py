@@ -30,7 +30,89 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.cdag import Vertex
 
-__all__ = ["MoveKind", "Move", "GameRecord", "GameError"]
+__all__ = [
+    "MoveKind",
+    "Move",
+    "GameRecord",
+    "GameError",
+    "VertexSetView",
+    "CompiledEngineMixin",
+]
+
+
+class VertexSetView:
+    """Read-only, set-like view of id-based engine state in vertex space.
+
+    The pebble-game engines track pebbles as sets of integer vertex ids
+    over a :class:`~repro.core.compiled.CompiledCDAG`; this view lets
+    callers keep using vertex names (``v in game.red``,
+    ``game.blue == {...}``) without the engines paying tuple hashing on
+    the hot path.  It reflects the live engine state — membership checks
+    after further moves see the updated pebbles.
+    """
+
+    __slots__ = ("_ids", "_c")
+
+    def __init__(self, ids, compiled) -> None:
+        self._ids = ids
+        self._c = compiled
+
+    def __contains__(self, v) -> bool:
+        i = self._c._index.get(v)
+        return i is not None and i in self._ids
+
+    def __iter__(self):
+        verts = self._c._verts
+        return iter([verts[i] for i in self._ids])
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __bool__(self) -> bool:
+        return bool(self._ids)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, VertexSetView):
+            return self._c is other._c and self._ids == other._ids
+        if isinstance(other, (set, frozenset)):
+            return set(self) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VertexSetView({set(self)!r})"
+
+
+class CompiledEngineMixin:
+    """Shared id-space plumbing for the pebble-game engines.
+
+    Engines set ``self.cdag`` and call :meth:`_bind` once during
+    construction; :meth:`_rebind_if_stale` (called from ``reset``)
+    refreshes every derived cache when the CDAG was mutated or re-tagged
+    since the last bind.  Subclasses hook :meth:`_bind_extra` for
+    engine-specific caches so the rebind invariant lives in one place.
+    """
+
+    def _bind(self) -> None:
+        """(Re)derive the id-space caches from the current compiled CDAG."""
+        self._c = self.cdag.compiled()
+        self._pred_lists = self._c.pred_lists
+        self._is_input = self._c.is_input_mask.tolist()
+        self._input_ids = self._c.input_ids.tolist()
+        self._output_ids = self._c.output_ids.tolist()
+        self._bind_extra()
+
+    def _bind_extra(self) -> None:
+        """Hook for engine-specific derived caches."""
+
+    def _rebind_if_stale(self) -> None:
+        if self.cdag._compiled is not self._c:
+            self._bind()
+
+    def _id(self, v: Vertex) -> int:
+        try:
+            return self._c._index[v]
+        except KeyError:
+            raise GameError(f"unknown vertex {v!r}") from None
 
 
 class GameError(RuntimeError):

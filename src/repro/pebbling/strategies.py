@@ -24,6 +24,12 @@ and the resulting :class:`~repro.pebbling.state.GameRecord` exposes the
 measured vertical and horizontal traffic that Theorems 5-7 bound from
 below.  :func:`contiguous_block_assignment` provides the default
 owner-computes mapping.
+
+All strategies run entirely in the integer-id space of the compiled CDAG
+backend (:meth:`CDAG.compiled`): schedules are converted to id arrays
+once up front, pebble state and liveness counters are id-indexed lists,
+and the engines' ``*_id`` rule methods are used throughout, so no vertex
+name is hashed inside the spill loops.
 """
 
 from __future__ import annotations
@@ -68,95 +74,111 @@ def _sequential_spill(
         raise ValueError("policy must be 'lru' or 'belady'")
     validate_schedule(cdag, schedule)
 
-    position = {v: i for i, v in enumerate(schedule)}
+    c = cdag.compiled()
+    n = c.n
+    sched_ids = c.ids_of(schedule)
+    pred_lists = c.pred_lists
+    succ_lists = c.succ_lists
+    is_input = c.is_input_mask.tolist()
+    is_output = c.is_output_mask.tolist()
+
+    position = [0] * n
+    for k, i in enumerate(sched_ids):
+        position[i] = k
     # Remaining uses (successors not yet fired) of every value.
-    remaining_uses: Dict[Vertex, int] = {
-        v: cdag.out_degree(v) for v in cdag.vertices
-    }
-    # Future use positions for the Belady policy.
-    future_uses: Dict[Vertex, List[int]] = {v: [] for v in cdag.vertices}
-    for v in cdag.vertices:
-        for s in cdag.successors(v):
-            future_uses[v].append(position[s])
-    for v in future_uses:
-        future_uses[v].sort(reverse=True)  # pop() yields the earliest use
+    remaining_uses: List[int] = c.out_degree.tolist()
+    # Future use positions for the Belady policy (pop() yields the earliest).
+    future_uses: List[List[int]] = [
+        sorted((position[s] for s in succ_lists[i]), reverse=True)
+        for i in range(n)
+    ]
 
     clock = 0
-    last_use: Dict[Vertex, int] = {}
+    # -1 = never used; real entries are clock positions >= 0.
+    last_use: List[int] = [-1] * n
 
-    max_need = max(
-        (cdag.in_degree(v) + 1 for v in cdag.vertices if not cdag.is_input(v)),
-        default=1,
-    )
+    op_degrees = [
+        len(pred_lists[i]) + 1 for i in range(n) if not is_input[i]
+    ]
+    max_need = max(op_degrees, default=1)
     if num_red < max_need:
         raise GameError(
             f"S={num_red} red pebbles cannot fire a vertex with "
             f"{max_need - 1} operands; need at least {max_need}"
         )
 
-    def next_use(v: Vertex) -> float:
-        uses = future_uses[v]
+    red_ids: Set[int] = game.red_ids
+    blue_ids: Set[int] = game.blue_ids
+
+    def next_use(i: int) -> float:
+        uses = future_uses[i]
         while uses and uses[-1] < clock:
             uses.pop()
         return uses[-1] if uses else float("inf")
 
-    def pick_victim(pinned: Set[Vertex]) -> Vertex:
-        candidates = [u for u in game.red if u not in pinned]
+    def pick_victim(pinned: Set[int]) -> int:
+        candidates = [u for u in red_ids if u not in pinned]
         if not candidates:
             raise GameError(
                 "no evictable red pebble: fast memory too small for this "
                 "schedule step"
             )
+        # Ties are broken by insertion id so victim choice is reproducible
+        # regardless of set iteration order.
         if policy == "belady":
-            return max(candidates, key=lambda u: (next_use(u), -last_use.get(u, 0)))
-        return min(candidates, key=lambda u: last_use.get(u, -1))
+            return max(
+                candidates,
+                key=lambda u: (next_use(u), -max(last_use[u], 0), -u),
+            )
+        return min(candidates, key=lambda u: (last_use[u], u))
 
-    def make_room(pinned: Set[Vertex]) -> None:
-        while len(game.red) >= num_red:
+    def make_room(pinned: Set[int]) -> None:
+        while len(red_ids) >= num_red:
             victim = pick_victim(pinned)
             needs_persist = remaining_uses[victim] > 0 or (
-                cdag.is_output(victim) and victim not in game.blue
+                is_output[victim] and victim not in blue_ids
             )
-            if needs_persist and victim not in game.blue:
-                game.store(victim)
-            game.delete(victim)
+            if needs_persist and victim not in blue_ids:
+                game.store_id(victim)
+            game.delete_id(victim)
 
-    def ensure_red(v: Vertex, pinned: Set[Vertex]) -> None:
-        if v in game.red:
-            last_use[v] = clock
+    def ensure_red(i: int, pinned: Set[int]) -> None:
+        if i in red_ids:
+            last_use[i] = clock
             return
-        if v not in game.blue:
+        if i not in blue_ids:
             raise GameError(
-                f"value {v!r} is neither in fast memory nor backed in slow "
-                "memory; the spill strategy should have stored it"
+                f"value {c.vertex(i)!r} is neither in fast memory nor backed "
+                "in slow memory; the spill strategy should have stored it"
             )
         make_room(pinned)
-        game.load(v)
-        last_use[v] = clock
+        game.load_id(i)
+        last_use[i] = clock
 
-    for v in schedule:
-        clock = position[v]
-        if cdag.is_input(v):
+    for i in sched_ids:
+        clock = position[i]
+        if is_input[i]:
             # Inputs are loaded lazily when first used.
             continue
-        preds = cdag.predecessors(v)
-        pinned = set(preds) | {v}
+        preds = pred_lists[i]
+        pinned = set(preds)
+        pinned.add(i)
         for p in preds:
             ensure_red(p, pinned)
         make_room(pinned)
-        game.compute(v)
-        last_use[v] = clock
-        if cdag.is_output(v):
-            game.store(v)
+        game.compute_id(i)
+        last_use[i] = clock
+        if is_output[i]:
+            game.store_id(i)
         # Retire operands whose last use has passed.
         for p in preds:
             remaining_uses[p] -= 1
-            if remaining_uses[p] == 0 and p in game.red:
-                if cdag.is_output(p) and p not in game.blue:
-                    game.store(p)
-                game.delete(p)
-        if remaining_uses[v] == 0 and v in game.red:
-            game.delete(v)
+            if remaining_uses[p] == 0 and p in red_ids:
+                if is_output[p] and p not in blue_ids:
+                    game.store_id(p)
+                game.delete_id(p)
+        if remaining_uses[i] == 0 and i in red_ids:
+            game.delete_id(i)
 
     # Outputs that are inputs passed straight through (rare, but legal
     # under flexible tagging) need a blue pebble; inputs already have one.
@@ -254,17 +276,23 @@ def parallel_spill_game(
         raise GameError(f"assignment misses vertices, e.g. {unknown[:3]}")
 
     game = ParallelRBWPebbleGame(cdag, hierarchy)
-    remaining_uses: Dict[Vertex, int] = {
-        v: cdag.out_degree(v) for v in cdag.vertices
-    }
+    c = cdag.compiled()
+    n = c.n
+    sched_ids = c.ids_of(schedule)
+    pred_lists = c.pred_lists
+    is_input = c.is_input_mask.tolist()
+    is_output = c.is_output_mask.tolist()
+    assign: List[int] = [assignment[c.vertex(i)] for i in range(n)]
+    remaining_uses: List[int] = c.out_degree.tolist()
+    blue_ids = game.blue_ids
     clock = 0
-    last_use: Dict[Tuple[Tuple[int, int], Vertex], int] = {}
+    last_use: Dict[Tuple[Tuple[int, int], int], int] = {}
 
     # Capacity sanity check at level 1.
-    max_need = max(
-        (cdag.in_degree(v) + 1 for v in cdag.vertices if not cdag.is_input(v)),
-        default=1,
-    )
+    op_degrees = [
+        len(pred_lists[i]) + 1 for i in range(n) if not is_input[i]
+    ]
+    max_need = max(op_degrees, default=1)
     s1 = hierarchy.capacity(1)
     if s1 is not None and s1 < max_need:
         raise GameError(
@@ -272,40 +300,39 @@ def parallel_spill_game(
             f"operands; need at least {max_need}"
         )
 
-    def shades(v: Vertex) -> Set[Tuple[int, int]]:
-        return game.pebbles.get(v, set())
+    shades = game.shades_ids
 
-    def persist(v: Vertex, inst: Tuple[int, int]) -> None:
-        """Guarantee a copy of ``v`` survives eviction from ``inst``."""
+    def persist(i: int, inst: Tuple[int, int]) -> None:
+        """Guarantee a copy of ``i`` survives eviction from ``inst``."""
         level, index = inst
-        if v in game.blue:
+        if i in blue_ids:
             return
-        if any(other != inst for other in shades(v)):
+        if any(other != inst for other in shades(i)):
             # Another storage instance still holds the value; for the LRU
             # strategy this is sufficient persistence only if that copy is
             # at an ancestor or another node's memory -- both reachable
             # later via move-up / remote-get.  Copies in sibling register
             # files cannot be read directly, so be conservative and only
             # accept ancestors or level-L copies.
-            for (olvl, oidx) in shades(v):
+            for (olvl, oidx) in shades(i):
                 if (olvl, oidx) == inst:
                     continue
                 if olvl > level or olvl == L:
                     return
         if level == L:
-            game.store(v, index)
+            game.store_id(i, index)
             return
         parent = hierarchy.parent_instance(level, index)
-        if parent not in shades(v):
+        if parent not in shades(i):
             make_room(parent, pinned=set())
-            game.move_down(v, parent[0], parent[1])
+            game.move_down_id(i, parent[0], parent[1])
 
-    def make_room(inst: Tuple[int, int], pinned: Set[Vertex]) -> None:
+    def make_room(inst: Tuple[int, int], pinned: Set[int]) -> None:
         level, index = inst
         cap = hierarchy.capacity(level)
         if cap is None:
             return
-        occupied = game.occupancy.get(inst, set())
+        occupied = game.occupancy_ids.setdefault(inst, set())
         while len(occupied) >= cap:
             candidates = [u for u in occupied if u not in pinned]
             if not candidates:
@@ -313,102 +340,109 @@ def parallel_spill_game(
                     f"storage {inst} cannot make room: all {cap} resident "
                     "values are pinned"
                 )
-            victim = min(candidates, key=lambda u: last_use.get((inst, u), -1))
+            victim = min(
+                candidates, key=lambda u: (last_use.get((inst, u), -1), u)
+            )
             if remaining_uses[victim] > 0 or (
-                cdag.is_output(victim) and victim not in game.blue
+                is_output[victim] and victim not in blue_ids
             ):
                 persist(victim, inst)
-            game.delete(victim, level, index)
-            occupied = game.occupancy.get(inst, set())
+            game.delete_id(victim, level, index)
 
-    def bring_to_node(v: Vertex, node: int, pinned: Set[Vertex]) -> None:
-        """Ensure ``v`` holds the level-L pebble of ``node``."""
-        if (L, node) in shades(v):
-            last_use[((L, node), v)] = clock
+    def bring_to_node(i: int, node: int, pinned: Set[int]) -> None:
+        """Ensure ``i`` holds the level-L pebble of ``node``."""
+        if (L, node) in shades(i):
+            last_use[((L, node), i)] = clock
             return
-        holders = [idx for (lvl, idx) in shades(v) if lvl == L]
-        if v in game.blue:
-            game.load(v, node)
+        holders = [idx for (lvl, idx) in shades(i) if lvl == L]
+        if i in blue_ids:
+            game.load_id(i, node)
         elif holders:
-            game.remote_get(v, node, holders[0])
+            game.remote_get_id(i, node, holders[0])
         else:
             # The value lives only in some cache below another node's
             # memory: push it down on its home node first.
-            home_shades = sorted(shades(v), key=lambda s: -s[0])
+            home_shades = sorted(shades(i), key=lambda s: -s[0])
             if not home_shades:
-                raise GameError(f"value {v!r} has been lost (no copy exists)")
+                raise GameError(
+                    f"value {c.vertex(i)!r} has been lost (no copy exists)"
+                )
             lvl, idx = home_shades[0]
             while lvl < L:
                 parent = hierarchy.parent_instance(lvl, idx)
                 make_room(parent, pinned)
-                game.move_down(v, parent[0], parent[1])
+                game.move_down_id(i, parent[0], parent[1])
                 lvl, idx = parent
             if idx == node:
                 pass
             else:
-                game.remote_get(v, node, idx)
-        last_use[((L, node), v)] = clock
+                game.remote_get_id(i, node, idx)
+        last_use[((L, node), i)] = clock
 
-    def bring_to_registers(v: Vertex, processor: int, pinned: Set[Vertex]) -> None:
-        """Ensure ``v`` holds processor ``processor``'s level-1 pebble."""
+    def bring_to_registers(i: int, processor: int, pinned: Set[int]) -> None:
+        """Ensure ``i`` holds processor ``processor``'s level-1 pebble."""
         reg = (1, processor)
-        if reg in shades(v):
-            last_use[(reg, v)] = clock
+        if reg in shades(i):
+            last_use[(reg, i)] = clock
             return
         node = hierarchy.instance_of_processor(L, processor)[1]
         # Find the lowest level on this processor's path that already
         # holds the value; pull from there.
-        path = [hierarchy.instance_of_processor(lvl, processor) for lvl in range(1, L + 1)]
+        path = [
+            hierarchy.instance_of_processor(lvl, processor)
+            for lvl in range(1, L + 1)
+        ]
         start_level = None
         for lvl, idx in path:
-            if (lvl, idx) in shades(v):
+            if (lvl, idx) in shades(i):
                 start_level = lvl
                 break
         if start_level is None:
-            bring_to_node(v, node, pinned)
+            bring_to_node(i, node, pinned)
             start_level = L
         for lvl in range(start_level - 1, 0, -1):
             inst = path[lvl - 1]
             # bring_to_node may already have placed intermediate copies
             # (e.g. when the only live copy sat in another processor's
             # registers and had to be pushed down through shared levels).
-            if inst not in shades(v):
+            if inst not in shades(i):
                 make_room(inst, pinned)
-                game.move_up(v, inst[0], inst[1])
-            last_use[(inst, v)] = clock
+                game.move_up_id(i, inst[0], inst[1])
+            last_use[(inst, i)] = clock
 
-    for v in schedule:
+    for i in sched_ids:
         clock += 1
-        if cdag.is_input(v):
+        if is_input[i]:
             continue
-        proc = assignment[v]
-        preds = cdag.predecessors(v)
-        pinned = set(preds) | {v}
+        proc = assign[i]
+        preds = pred_lists[i]
+        pinned = set(preds)
+        pinned.add(i)
         for p in preds:
             bring_to_registers(p, proc, pinned)
         make_room((1, proc), pinned)
-        game.compute(v, proc)
-        last_use[((1, proc), v)] = clock
-        if cdag.is_output(v):
+        game.compute_id(i, proc)
+        last_use[((1, proc), i)] = clock
+        if is_output[i]:
             node = hierarchy.instance_of_processor(L, proc)[1]
             # Push the result down to the node memory and store it.
             lvl, idx = 1, proc
             while lvl < L:
                 parent = hierarchy.parent_instance(lvl, idx)
-                if parent not in shades(v):
+                if parent not in shades(i):
                     make_room(parent, pinned)
-                    game.move_down(v, parent[0], parent[1])
+                    game.move_down_id(i, parent[0], parent[1])
                 lvl, idx = parent
-            game.store(v, node)
+            game.store_id(i, node)
         for p in preds:
             remaining_uses[p] -= 1
             if remaining_uses[p] == 0:
                 for (lvl, idx) in list(shades(p)):
-                    if not (cdag.is_output(p) and p not in game.blue):
-                        game.delete(p, lvl, idx)
-        if remaining_uses[v] == 0 and not cdag.is_output(v):
-            for (lvl, idx) in list(shades(v)):
-                game.delete(v, lvl, idx)
+                    if not (is_output[p] and p not in blue_ids):
+                        game.delete_id(p, lvl, idx)
+        if remaining_uses[i] == 0 and not is_output[i]:
+            for (lvl, idx) in list(shades(i)):
+                game.delete_id(i, lvl, idx)
 
     game.assert_complete()
     return game.record
