@@ -1,0 +1,26 @@
+# Convenience targets; every command also runs as written in README.md.
+PY := PYTHONPATH=src python
+
+.PHONY: test doctest bench bench-smoke check
+
+# Tier-1 suite (includes the doctest run over the documented public
+# surface and the ~1 s bench smoke in tests/test_docs_and_bench_smoke.py).
+test:
+	$(PY) -m pytest -x -q
+
+# Standalone doctest pass over the documented modules.
+doctest:
+	$(PY) -m pytest --doctest-modules \
+	  src/repro/core/ordering.py \
+	  src/repro/pebbling/state.py \
+	  src/repro/pebbling/parallel.py -q
+
+# Smallest-size benchmark smoke (still completes the 10^6-move P-RBW game).
+bench-smoke:
+	BENCH_SMOKE=1 $(PY) -m pytest benchmarks -q -m "not bench" --benchmark-disable
+
+# Full core benchmarks; refreshes BENCH_core.json.
+bench:
+	$(PY) -m pytest benchmarks/bench_compiled_core.py -q --benchmark-disable
+
+check: test bench-smoke

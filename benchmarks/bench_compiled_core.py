@@ -1,10 +1,12 @@
 """Core-hot-path benchmarks for the compiled integer-indexed CDAG backend.
 
-Measures, at three sizes each, the ns/op of the four operations that
-dominate every analysis pipeline in the repo — CDAG construction,
-topological ordering, pebble-game replay, and the automated wavefront
-(Lemma 2) bound — and records everything into ``BENCH_core.json`` via the
-shared conftest helper.
+Measures, at three sizes each, the ns/op of the operations that dominate
+every analysis pipeline in the repo — CDAG construction, topological
+ordering, pebble-game replay, the automated wavefront (Lemma 2) bound,
+the columnar move log (ns/move through the full rule-checking engines),
+and the id-space schedulers (ns/scheduled-vertex vs the dict reference) —
+and records everything into ``BENCH_core.json`` via the shared conftest
+helper.
 
 The headline test compares the *seed dict-backend path* (incremental
 ``CDAG(...)`` construction + per-candidate networkx split-graph rebuild,
@@ -17,7 +19,9 @@ Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_compiled_core.py -q
 
-Deselect the heavy whole-pipeline comparison with ``-m "not bench"``.
+Deselect the heavy whole-pipeline comparison with ``-m "not bench"``, or
+set ``BENCH_SMOKE=1`` for the smallest-size smoke run (which still plays
+the 10^6-move P-RBW move-log game).
 """
 
 import pytest
@@ -27,18 +31,29 @@ from repro.bounds.mincut import (
     heuristic_wavefront_candidates,
 )
 from repro.core import CDAG, grid_stencil_cdag
+from repro.core.ordering import dfs_schedule, min_liveset_schedule
 from repro.core.properties import min_wavefront_rebuild
 from repro.pebbling import RedBluePebbleGame, spill_game_redblue
+from repro.pebbling.workloads import prbw_pump_game, redblue_pump_game
 
-from conftest import emit, record_bench, time_ns_per_op
+from conftest import emit, record_bench, smoke_mode, time_ns_per_op
+
+SMOKE = smoke_mode()
 
 #: grid extents for the 2D construction/topo benches
-GRID_SIZES = (16, 32, 64)
+GRID_SIZES = (16,) if SMOKE else (16, 32, 64)
 #: 1D Jacobi widths for the pebble/wavefront benches
-JACOBI_SIZES = (16, 32, 64)
+JACOBI_SIZES = (16,) if SMOKE else (16, 32, 64)
 JACOBI_TIMESTEPS = 16
 S_RED = 8
 MAX_CANDIDATES = 8
+#: move counts for the columnar-log pump benches (the 10^6-move P-RBW
+#: game is the acceptance bar and runs in smoke mode too)
+MOVELOG_SIZES = (1_000_000,) if SMOKE else (100_000, 1_000_000)
+#: grid extents for the scheduler benches (the dict reference for
+#: min-live-set is O(V * ready * deg): cap its sizes)
+SCHED_SIZES = (16,) if SMOKE else (16, 32, 64)
+MINLIVE_DICT_BASELINE_MAX = 32
 
 
 def jacobi_1d(n: int) -> CDAG:
@@ -156,7 +171,97 @@ def test_bench_wavefront_bound():
     )
 
 
+def test_bench_move_log():
+    """ns/move of the columnar move log through the full rule-checking
+    engines — the seed's per-``Move``-object log capped games near 10^5
+    moves; the acceptance bar is a complete 10^6-move P-RBW game."""
+    rows = []
+    for target in MOVELOG_SIZES:
+        prbw_ns = time_ns_per_op(
+            lambda: prbw_pump_game(target), repeat=2
+        ) / target
+        game = prbw_pump_game(target)
+        assert game.is_complete()
+        assert len(game.record.moves) == target
+        record_bench(
+            f"movelog/prbw_pump_{target}",
+            ns_per_op=prbw_ns,
+            num_moves=target,
+            complete=True,
+        )
+        rb_ns = time_ns_per_op(
+            lambda: redblue_pump_game(target + 1), repeat=2
+        ) / (target + 1)
+        rb = redblue_pump_game(target + 1)
+        assert rb.is_complete()
+        assert len(rb.record.moves) == target + 1
+        record_bench(
+            f"movelog/redblue_pump_{target}",
+            ns_per_op=rb_ns,
+            num_moves=target + 1,
+            complete=True,
+        )
+        rows.append(
+            f"  moves={target:8d}  p-rbw={prbw_ns:7.0f} ns/move  "
+            f"red-blue={rb_ns:7.0f} ns/move"
+        )
+    emit("Columnar move log, complete pump games\n" + "\n".join(rows))
+
+
+def test_bench_schedulers():
+    """ns/scheduled-vertex of the id-space schedulers vs the dict
+    reference (identical schedules, pinned by the equivalence tests)."""
+    rows = []
+    for n in SCHED_SIZES:
+        cdag = grid_stencil_cdag((n, n), 2)
+        cdag.compiled()  # schedule cost, not compile cost
+        nv = cdag.num_vertices()
+        dfs_ns = time_ns_per_op(lambda: dfs_schedule(cdag), repeat=3) / nv
+        dfs_dict_ns = time_ns_per_op(
+            lambda: dfs_schedule(cdag, backend="dict"), repeat=3
+        ) / nv
+        record_bench(
+            f"sched/dfs_grid2d_{n}",
+            ns_per_op=dfs_ns,
+            dict_ns_per_op=dfs_dict_ns,
+            speedup=round(dfs_dict_ns / dfs_ns, 2),
+            num_vertices=nv,
+        )
+        ml_ns = time_ns_per_op(
+            lambda: min_liveset_schedule(cdag), repeat=3
+        ) / nv
+        extra = {}
+        if n <= MINLIVE_DICT_BASELINE_MAX:
+            ml_dict_ns = time_ns_per_op(
+                lambda: min_liveset_schedule(cdag, backend="dict"), repeat=1
+            ) / nv
+            extra = {
+                "dict_ns_per_op": ml_dict_ns,
+                "speedup": round(ml_dict_ns / ml_ns, 2),
+            }
+        record_bench(
+            f"sched/minlive_grid2d_{n}",
+            ns_per_op=ml_ns,
+            num_vertices=nv,
+            **extra,
+        )
+        dict_part = (
+            f"dict={extra['dict_ns_per_op']:8.0f} ({extra['speedup']:.0f}x)"
+            if extra
+            else "dict=  (skipped)"
+        )
+        rows.append(
+            f"  n={n:3d}  dfs={dfs_ns:6.0f} ns/v (dict {dfs_dict_ns:6.0f})  "
+            f"minlive={ml_ns:7.0f} ns/v {dict_part}"
+        )
+    emit(
+        "Schedulers: id-space vs dict reference (2D grid stencil, T=2)\n"
+        + "\n".join(rows)
+    )
+
+
 @pytest.mark.bench
+@pytest.mark.skipif(SMOKE, reason="heavy whole-pipeline bench; not in smoke")
 def test_compiled_backend_speedup_vs_seed_path():
     """Tentpole acceptance: >= 5x on construction + Jacobi bound at n=64."""
     n = 64

@@ -24,13 +24,29 @@ The ``bench`` marker tags whole-pipeline benchmark tests; the tier-1
 ``pytest -x -q`` run never collects ``bench_*.py`` files (they do not
 match the default test-file pattern), and an explicit benchmarks run can
 still deselect the heavy ones with ``-m "not bench"``.
+
+Smoke mode
+----------
+``BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks -q -m "not
+bench" --benchmark-disable`` (wrapped by ``make bench-smoke``, ~10 s)
+runs the core hot-path benches at their smallest sizes
+(``bench_compiled_core.py`` keys its size tuples off :func:`smoke_mode`)
+— still completing the 10^6-move P-RBW move-log game the columnar log
+exists for — while ``--benchmark-disable`` drops the per-experiment
+table benches to a single untimed pass.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
 import pytest
+
+
+def smoke_mode() -> bool:
+    """True when BENCH_SMOKE selects the fast smallest-size smoke run."""
+    return os.environ.get("BENCH_SMOKE", "") not in ("", "0")
 
 _CONFIG = None
 _BENCH_RESULTS = {}

@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli cg --n 1000
     python -m repro.cli gmres --m 5 10 50
     python -m repro.cli jacobi --dimensions 1 2 3 5
+    python -m repro.cli matmul --sizes 4 6 --cache 8 16
     python -m repro.cli validate
     python -m repro.cli distsim --nodes 4 --cache 64
     python -m repro.cli balance
@@ -15,7 +16,8 @@ Usage::
 Each subcommand runs the corresponding experiment driver from
 :mod:`repro.evaluation.experiments` and prints the reproduced table; the
 ``all`` subcommand runs everything the benchmark harness covers (E1-E9)
-with default parameters.
+with default parameters.  The usage block above lists every registered
+subcommand — ``tests/evaluation/test_cli.py`` pins it against the parser.
 """
 
 from __future__ import annotations

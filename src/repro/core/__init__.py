@@ -24,7 +24,9 @@ from .builders import (
 )
 from .ordering import (
     dfs_schedule,
+    dfs_schedule_ids,
     min_liveset_schedule,
+    min_liveset_schedule_ids,
     priority_schedule,
     topological_schedule,
     validate_schedule,
@@ -77,7 +79,9 @@ __all__ = [
     "reduction_tree_cdag",
     # ordering
     "dfs_schedule",
+    "dfs_schedule_ids",
     "min_liveset_schedule",
+    "min_liveset_schedule_ids",
     "priority_schedule",
     "topological_schedule",
     "validate_schedule",

@@ -22,34 +22,111 @@ memory-pressure characteristics:
   approximation of a memory-optimal order;
 * priority scheduling with a user-supplied key (used by the tiled /
   blocked schedules of the algorithm modules).
+
+The DFS and min-live-set generators run on the compiled integer-indexed
+backend (:meth:`CDAG.compiled`) by default: :func:`dfs_schedule_ids` and
+:func:`min_liveset_schedule_ids` walk plain-``int`` adjacency lists and
+the vertex-space wrappers convert ids back to names once at the end.  The
+seed's dict-backend implementations are kept, bit-for-bit equivalent, as
+the reference semantics — select them with ``backend="dict"`` (the
+equivalence tests pin both paths to identical schedules on randomized
+CDAGs).  :func:`validate_schedule` checks the edge partial order
+vectorized over the compiled CSR arrays.
+
+Usage example (doctest)::
+
+    >>> from repro.core.builders import diamond_cdag
+    >>> from repro.core.ordering import (
+    ...     dfs_schedule, min_liveset_schedule, validate_schedule)
+    >>> cdag = diamond_cdag(3, 2)       # 3-wide, 2-row stencil diamond
+    >>> sched = min_liveset_schedule(cdag)
+    >>> validate_schedule(cdag, sched)  # raises CDAGError if not a valid order
+    >>> sched[:3]
+    [('dmd', 0, 0), ('dmd', 0, 1), ('dmd', 1, 0)]
+    >>> sched == min_liveset_schedule(cdag, backend="dict")
+    True
+    >>> dfs_schedule(cdag) == dfs_schedule(cdag, backend="dict")
+    True
+    >>> c = cdag.compiled()             # the id-space variants
+    >>> from repro.core.ordering import dfs_schedule_ids
+    >>> c.vertices_of(dfs_schedule_ids(c)) == dfs_schedule(cdag)
+    True
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Sequence, Set, Tuple
+
+import numpy as np
 
 from .cdag import CDAG, CDAGError, Vertex
+from .compiled import CompiledCDAG
 
 __all__ = [
     "topological_schedule",
     "dfs_schedule",
+    "dfs_schedule_ids",
+    "find_dependence_violation",
     "min_liveset_schedule",
+    "min_liveset_schedule_ids",
     "priority_schedule",
     "validate_schedule",
 ]
 
 
+def find_dependence_violation(c: CompiledCDAG, pos: np.ndarray):
+    """First CSR edge ``(u, v)`` (as ids) with ``pos[u] > pos[v]``, or
+    ``None`` if the positions respect every dependence.
+
+    ``pos`` maps vertex id -> position; entries of ``-1`` mean "no
+    position" and are ignored (used by partial orders such as the
+    distsim executor's operation-only replay, where inputs are always
+    available).  One vectorized pass over the compiled CSR arrays.
+    """
+    if c.m == 0:
+        return None
+    head_pos = np.repeat(pos, np.diff(c.succ_indptr))
+    tail_pos = pos[c.succ_indices]
+    bad = np.flatnonzero(
+        (head_pos >= 0) & (tail_pos >= 0) & (head_pos > tail_pos)
+    )
+    if not bad.size:
+        return None
+    k = int(bad[0])
+    u = int(np.searchsorted(c.succ_indptr, k, side="right") - 1)
+    v = int(c.succ_indices[k])
+    return u, v
+
+
 def validate_schedule(cdag: CDAG, schedule: Sequence[Vertex]) -> None:
-    """Raise :class:`CDAGError` unless ``schedule`` is a valid total order."""
-    pos = {v: i for i, v in enumerate(schedule)}
-    if len(pos) != len(schedule):
+    """Raise :class:`CDAGError` unless ``schedule`` is a valid total order.
+
+    Runs on the compiled backend: the schedule is converted to ids once
+    and the dependence check compares the position arrays of every CSR
+    edge in a single vectorized pass.
+    """
+    c = cdag.compiled()
+    try:
+        ids = c.ids_of(schedule)
+    except KeyError as exc:
+        raise CDAGError(
+            f"schedule contains unknown vertex {exc.args[0]!r}"
+        ) from None
+    if len(set(ids)) != len(ids):
         raise CDAGError("schedule contains duplicate vertices")
-    if set(pos) != set(cdag.vertices):
+    if len(ids) != c.n:
         raise CDAGError("schedule must contain every vertex exactly once")
-    for u, v in cdag.edges():
-        if pos[u] > pos[v]:
-            raise CDAGError(f"schedule violates dependence {u!r} -> {v!r}")
+    if c.n == 0:
+        return
+    pos = np.empty(c.n, dtype=np.int64)
+    pos[ids] = np.arange(c.n, dtype=np.int64)
+    violation = find_dependence_violation(c, pos)
+    if violation is not None:
+        u, v = violation
+        raise CDAGError(
+            f"schedule violates dependence {c.vertex(u)!r} -> {c.vertex(v)!r}"
+        )
 
 
 def topological_schedule(cdag: CDAG) -> List[Vertex]:
@@ -57,14 +134,70 @@ def topological_schedule(cdag: CDAG) -> List[Vertex]:
     return cdag.topological_order()
 
 
-def dfs_schedule(cdag: CDAG, reverse_roots: bool = False) -> List[Vertex]:
+# ======================================================================
+# Depth-first schedule
+# ======================================================================
+def dfs_schedule_ids(
+    c: CompiledCDAG, reverse_roots: bool = False
+) -> List[int]:
+    """Depth-first schedule in id space (see :func:`dfs_schedule`).
+
+    Takes a :class:`~repro.core.compiled.CompiledCDAG` and returns vertex
+    ids; this is the hot path the vertex-space wrapper converts from.
+    """
+    remaining = c.in_degree.tolist()
+    succ_lists = c.succ_lists
+    emitted = bytearray(c.n)
+    roots = [i for i in range(c.n) if remaining[i] == 0]
+    if reverse_roots:
+        roots.reverse()
+    stack = roots[::-1]
+    schedule: List[int] = []
+    append = schedule.append
+    while stack:
+        v = stack.pop()
+        if emitted[v] or remaining[v] > 0:
+            # Already emitted, or re-pushed before its last predecessor
+            # fired; it will be pushed again when it becomes ready.
+            continue
+        emitted[v] = 1
+        append(v)
+        for w in reversed(succ_lists[v]):
+            remaining[w] -= 1
+            if remaining[w] == 0 and not emitted[w]:
+                stack.append(w)
+    if len(schedule) != c.n:
+        raise CDAGError("graph contains a directed cycle")
+    return schedule
+
+
+def dfs_schedule(
+    cdag: CDAG, reverse_roots: bool = False, backend: str = "compiled"
+) -> List[Vertex]:
     """Depth-first schedule.
 
     Performs an iterative DFS from the source vertices, emitting a vertex
     as soon as all its predecessors have been emitted.  For tree- and
     chain-like CDAGs this tends to keep the live set small because whole
     subtrees are finished before moving on.
+
+    ``backend="compiled"`` (default) runs :func:`dfs_schedule_ids` on the
+    integer-indexed backend; ``backend="dict"`` runs the seed's
+    dict-backend reference implementation.  Both produce the identical
+    schedule — ids are insertion order, so every tie-break matches.
     """
+    if backend == "dict":
+        return _dfs_schedule_dict(cdag, reverse_roots)
+    if backend != "compiled":
+        raise ValueError(f"unknown backend {backend!r}")
+    c = cdag.compiled()
+    return c.vertices_of(dfs_schedule_ids(c, reverse_roots))
+
+
+def _dfs_schedule_dict(
+    cdag: CDAG, reverse_roots: bool = False
+) -> List[Vertex]:
+    """Reference dict-backend DFS schedule (seed implementation)."""
     emitted: Set[Vertex] = set()
     remaining_preds: Dict[Vertex, int] = {
         v: cdag.in_degree(v) for v in cdag.vertices
@@ -96,7 +229,79 @@ def dfs_schedule(cdag: CDAG, reverse_roots: bool = False) -> List[Vertex]:
     return schedule
 
 
-def min_liveset_schedule(cdag: CDAG) -> List[Vertex]:
+# ======================================================================
+# Greedy minimum-live-set schedule
+# ======================================================================
+def min_liveset_schedule_ids(c: CompiledCDAG) -> List[int]:
+    """Greedy minimum-live-set schedule in id space (see
+    :func:`min_liveset_schedule`).
+
+    Same greedy rule as the dict reference: among ready vertices fire the
+    one minimizing the live-set delta, ties broken by insertion order —
+    which in id space is simply the id itself.
+
+    Selection is identical to the reference but far cheaper: the
+    reference re-derives every candidate's delta each step (a predecessor
+    walk per candidate per step).  Here deltas are maintained
+    *incrementally* — an unfired vertex's delta only ever changes when one
+    of its predecessors drops to a single unfired successor, which
+    happens once per predecessor — and ready vertices sit in a
+    lazy-deletion heap keyed by ``(delta, id)``: stale entries (fired, or
+    pushed with an outdated delta) are discarded on pop.  The key is a
+    strict total order and every ready vertex always has an entry with
+    its current delta, so the fired sequence matches the reference
+    exactly, at ``O((V + E) log V)`` instead of per-step ready-list
+    walks.
+    """
+    out_degree = c.out_degree.tolist()
+    remaining_succ = c.out_degree.tolist()
+    remaining_pred = c.in_degree.tolist()
+    pred_lists = c.pred_lists
+    succ_lists = c.succ_lists
+    fired = bytearray(c.n)
+    # delta[v] = net live-set change of firing v *now*; kept current for
+    # every unfired vertex.
+    delta = [0] * c.n
+    for v in range(c.n):
+        d = 1 if out_degree[v] > 0 else 0
+        for p in pred_lists[v]:
+            if out_degree[p] == 1:  # v is p's only successor
+                d -= 1
+        delta[v] = d
+    heap = [(delta[i], i) for i in range(c.n) if remaining_pred[i] == 0]
+    heapq.heapify(heap)
+    push, pop = heapq.heappush, heapq.heappop
+    schedule: List[int] = []
+    append = schedule.append
+    while heap:
+        d, v = pop(heap)
+        if fired[v] or d != delta[v]:
+            continue  # stale entry; the current one is still queued
+        append(v)
+        fired[v] = 1
+        for p in pred_lists[v]:
+            remaining_succ[p] -= 1
+            if remaining_succ[p] == 1:
+                # p now has exactly one unfired successor: that successor
+                # would retire p by firing, so its delta drops by one.
+                for w in succ_lists[p]:
+                    if not fired[w]:
+                        delta[w] -= 1
+                        if remaining_pred[w] == 0:
+                            push(heap, (delta[w], w))
+                        break
+        for w in succ_lists[v]:
+            remaining_pred[w] -= 1
+            if remaining_pred[w] == 0:
+                push(heap, (delta[w], w))
+    if len(schedule) != c.n:
+        raise CDAGError("graph contains a directed cycle")
+    return schedule
+
+
+def min_liveset_schedule(
+    cdag: CDAG, backend: str = "compiled"
+) -> List[Vertex]:
     """Greedy minimum-live-set schedule.
 
     At each step, among ready vertices, fire the one whose firing leads to
@@ -108,7 +313,21 @@ def min_liveset_schedule(cdag: CDAG) -> List[Vertex]:
     NP-hard in general — it is equivalent to one-shot pebbling), but it
     gives good upper bounds on ``w_max`` for the structured CDAGs used in
     the evaluation and drives the spill-based upper-bound games.
+
+    ``backend="compiled"`` (default) runs
+    :func:`min_liveset_schedule_ids`; ``backend="dict"`` runs the seed's
+    reference implementation.  Both produce the identical schedule.
     """
+    if backend == "dict":
+        return _min_liveset_schedule_dict(cdag)
+    if backend != "compiled":
+        raise ValueError(f"unknown backend {backend!r}")
+    c = cdag.compiled()
+    return c.vertices_of(min_liveset_schedule_ids(c))
+
+
+def _min_liveset_schedule_dict(cdag: CDAG) -> List[Vertex]:
+    """Reference dict-backend min-live-set schedule (seed implementation)."""
     remaining_succ: Dict[Vertex, int] = {
         v: cdag.out_degree(v) for v in cdag.vertices
     }
@@ -144,6 +363,9 @@ def min_liveset_schedule(cdag: CDAG) -> List[Vertex]:
     return schedule
 
 
+# ======================================================================
+# Priority schedule
+# ======================================================================
 def priority_schedule(
     cdag: CDAG, key: Callable[[Vertex], Tuple]
 ) -> List[Vertex]:
@@ -152,7 +374,9 @@ def priority_schedule(
     Ready vertices are kept in a heap ordered by ``key``; this is how the
     blocked/tiled schedules of the algorithm modules (e.g. tile-by-tile
     Jacobi) are expressed: the key encodes the tile index so that a whole
-    tile is finished before the next one starts.
+    tile is finished before the next one starts.  (The key runs on vertex
+    *names* by design — tiling keys are name-structured — so this stays on
+    the dict backend.)
     """
     counter = 0
     remaining_pred: Dict[Vertex, int] = {

@@ -235,17 +235,52 @@ def partition_from_game(cdag: CDAG, moves, s: int) -> SPartition:
     cdag:
         The CDAG the game was played on.
     moves:
-        The move sequence of a complete game
-        (e.g. ``GameRecord.moves``).
+        The move sequence of a complete game: a
+        :class:`~repro.pebbling.state.GameRecord`, its columnar
+        :class:`~repro.pebbling.state.MoveLog` (``record.moves``), or any
+        iterable of :class:`~repro.pebbling.state.Move` objects.  A log
+        bound to ``cdag``'s compiled backend is sliced into phases
+        *vectorized* over the opcode column; the per-``Move`` loop is kept
+        as the reference path for arbitrary iterables.
     s:
         The number of red pebbles the game used.
     """
-    from ..pebbling.state import MoveKind  # local import to avoid a cycle
+    # local imports to avoid a core <-> pebbling cycle
+    from ..pebbling.state import (
+        OP_COMPUTE,
+        OP_LOAD,
+        OP_STORE,
+        GameRecord,
+        MoveKind,
+        MoveLog,
+    )
+
+    log = moves.log if isinstance(moves, GameRecord) else moves
+    if isinstance(log, MoveLog) and log.is_bound_to(cdag.compiled()):
+        import numpy as np
+
+        c = cdag.compiled()
+        kinds = log.kinds()
+        io_mask = (kinds == OP_LOAD) | (kinds == OP_STORE)
+        # Number of I/O moves strictly before each move; the phase of a
+        # compute is how many times the "(S+1)-th I/O closes the phase"
+        # rule has fired before it.
+        io_before = np.cumsum(io_mask) - io_mask
+        compute_mask = kinds == OP_COMPUTE
+        phases = np.maximum(0, (io_before[compute_mask] - 1) // s)
+        fired = log.vertex_ids()[compute_mask]
+        verts = c._verts
+        by_phase: Dict[int, Set[Vertex]] = {}
+        for ph, vid in zip(phases.tolist(), fired.tolist()):
+            by_phase.setdefault(ph, set()).add(verts[vid])
+        return SPartition(
+            subsets=[by_phase[ph] for ph in sorted(by_phase)], s=2 * s
+        )
 
     subsets: List[Set[Vertex]] = []
     current: Set[Vertex] = set()
     io_in_phase = 0
-    for move in moves:
+    for move in log:
         if move.kind in (MoveKind.LOAD, MoveKind.STORE):
             if io_in_phase >= s:
                 # close the phase before admitting the (S+1)-th I/O

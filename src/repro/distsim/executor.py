@@ -10,16 +10,23 @@ is replayed through a per-node cache (vertical words).
 
 This is a lighter-weight companion of the formally rule-checked
 :func:`repro.pebbling.strategies.parallel_spill_game`: it scales to CDAGs
-with hundreds of thousands of vertices, which the pebble-game engine (with
-its per-move validation) does not, and it is what experiment E8 uses to
-compare measured traffic against the Theorem 5-7 bounds on mid-sized
+with hundreds of thousands of vertices, and it is what experiment E8 uses
+to compare measured traffic against the Theorem 5-7 bounds on mid-sized
 problems.
+
+Two entry points share the id-space replay loop:
+
+* :meth:`DistributedExecutor.run` executes a *schedule* (a vertex order);
+* :meth:`DistributedExecutor.run_record` executes a recorded pebble game,
+  reading the fired-operation order straight out of the columnar
+  :class:`~repro.pebbling.state.MoveLog` (a vectorized filter of the
+  opcode column — no ``Move`` objects, no vertex-name hashing).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.cdag import CDAG, Vertex
 from ..core.ordering import topological_schedule, validate_schedule
@@ -102,30 +109,104 @@ class DistributedExecutor:
         # lookups on tuple-named vertices would dominate at the CDAG sizes
         # this executor exists for (10^5-10^6 vertices).
         c = cdag.compiled()
-        n = c.n
         sched_ids = c.ids_of(schedule)
-        pred_lists = c.pred_lists
         is_input = c.is_input_mask.tolist()
+        op_ids = [i for i in sched_ids if not is_input[i]]
+        assign = self._build_assignment(
+            cdag, c, op_ids, assignment, partitioner, is_input
+        )
+        return self._execute(c, op_ids, assign, is_input)
 
-        assign: List[int]
-        if assignment is None:
-            if partitioner is not None:
-                assign = [
-                    int(partitioner(c.vertex(i))) % self.num_nodes
-                    for i in range(n)
-                ]
-            else:
-                ops = [i for i in sched_ids if not is_input[i]]
-                per = max(1, (len(ops) + self.num_nodes - 1) // self.num_nodes)
-                assign = [0] * n
-                for k, i in enumerate(ops):
-                    assign[i] = min(k // per, self.num_nodes - 1)
-                succ_lists = c.succ_lists
-                for i in range(n):
-                    if is_input[i]:
-                        succ = succ_lists[i]
-                        assign[i] = assign[succ[0]] if succ else 0
-        else:
+    def run_record(
+        self,
+        cdag: CDAG,
+        record,
+        assignment: Optional[Dict[Vertex, int]] = None,
+        partitioner: Optional[Callable[[Vertex], int]] = None,
+    ) -> DistributedExecutionReport:
+        """Execute the operation order of a recorded pebble game.
+
+        ``record`` is a :class:`~repro.pebbling.state.GameRecord` (or its
+        :class:`~repro.pebbling.state.MoveLog`) produced against ``cdag``,
+        e.g. by :func:`repro.pebbling.strategies.spill_game_rbw`.  The
+        fired-operation schedule is extracted from the COMPUTE rows of the
+        log's opcode column in one vectorized filter and replayed through
+        the per-node caches — no ``Move`` objects are materialized.
+
+        The game must fire every operation exactly once (RBW/P-RBW games
+        always do; red-blue games only if the strategy never recomputes).
+        """
+        from ..pebbling.state import GameRecord, MoveKind, MoveLog
+
+        log = record.log if isinstance(record, GameRecord) else record
+        if not isinstance(log, MoveLog):
+            raise TypeError(
+                "run_record expects a GameRecord or MoveLog; got "
+                f"{type(record).__name__} (use run(schedule=...) instead)"
+            )
+        c = cdag.compiled()
+        if not log.is_bound_to(c):
+            raise ValueError(
+                "the move log was not recorded against this CDAG "
+                "(or the CDAG was mutated since); re-run the game"
+            )
+        op_ids = log.ids_of_kind(MoveKind.COMPUTE).tolist()
+        is_input = c.is_input_mask.tolist()
+        num_ops = c.n - sum(is_input)
+        # Together, the count + uniqueness + no-input checks force the
+        # COMPUTE rows to cover exactly the operation vertices.
+        if (
+            len(op_ids) != num_ops
+            or len(set(op_ids)) != len(op_ids)
+            or any(is_input[i] for i in op_ids)
+        ):
+            raise ValueError(
+                f"the game fired {len(op_ids)} computes over {num_ops} "
+                "operations; run_record needs each operation (and no "
+                "input) fired exactly once (no recomputation, complete game)"
+            )
+        self._validate_op_order(c, op_ids)
+        assign = self._build_assignment(
+            cdag, c, op_ids, assignment, partitioner, is_input
+        )
+        return self._execute(c, op_ids, assign, is_input)
+
+    @staticmethod
+    def _validate_op_order(c, op_ids: List[int]) -> None:
+        """Reject a fired-operation order that violates the edge partial
+        order (a hand-built log could be bound and fire-once yet still be
+        anti-topological; replaying it would charge phantom traffic).
+        Inputs carry no position — they are always available."""
+        import numpy as np
+
+        from ..core.ordering import find_dependence_violation
+
+        pos = np.full(c.n, -1, dtype=np.int64)
+        pos[op_ids] = np.arange(len(op_ids), dtype=np.int64)
+        violation = find_dependence_violation(c, pos)
+        if violation is not None:
+            u, v = violation
+            raise ValueError(
+                "the recorded compute order violates dependence "
+                f"{c.vertex(u)!r} -> {c.vertex(v)!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Internals shared by run / run_record
+    # ------------------------------------------------------------------
+    def _build_assignment(
+        self,
+        cdag: CDAG,
+        c,
+        op_ids: List[int],
+        assignment: Optional[Dict[Vertex, int]],
+        partitioner: Optional[Callable[[Vertex], int]],
+        is_input: List[bool],
+    ) -> List[int]:
+        """Owner-computes node of every vertex id (defaults: contiguous
+        blocks of the operation order; inputs follow their first consumer)."""
+        n = c.n
+        if assignment is not None:
             missing = [v for v in cdag.vertices if v not in assignment]
             if missing:
                 raise ValueError(
@@ -139,7 +220,28 @@ class DistributedExecutor:
                 raise ValueError(
                     f"assignment maps to unknown nodes, e.g. {bad[:3]}"
                 )
-            assign = [assignment[c.vertex(i)] for i in range(n)]
+            return [assignment[c.vertex(i)] for i in range(n)]
+        if partitioner is not None:
+            return [
+                int(partitioner(c.vertex(i))) % self.num_nodes
+                for i in range(n)
+            ]
+        per = max(1, (len(op_ids) + self.num_nodes - 1) // self.num_nodes)
+        assign = [0] * n
+        for k, i in enumerate(op_ids):
+            assign[i] = min(k // per, self.num_nodes - 1)
+        succ_lists = c.succ_lists
+        for i in range(n):
+            if is_input[i]:
+                succ = succ_lists[i]
+                assign[i] = assign[succ[0]] if succ else 0
+        return assign
+
+    def _execute(
+        self, c, op_ids: List[int], assign: List[int], is_input: List[bool]
+    ) -> DistributedExecutionReport:
+        """The id-space replay loop (operands, caches, residency)."""
+        pred_lists = c.pred_lists
 
         report = DistributedExecutionReport()
         caches = [
@@ -149,16 +251,14 @@ class DistributedExecutor:
         # Values already present in a node's memory (owned inputs or
         # previously received copies) need no new horizontal transfer.
         resident: List[set] = [set() for _ in range(self.num_nodes)]
-        for i in range(n):
+        for i in range(c.n):
             if is_input[i]:
                 resident[assign[i]].add(i)
 
         horizontal = [0] * self.num_nodes
         computes = [0] * self.num_nodes
 
-        for i in sched_ids:
-            if is_input[i]:
-                continue
+        for i in op_ids:
             node = assign[i]
             cache = caches[node]
             res = resident[node]

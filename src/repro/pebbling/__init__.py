@@ -17,7 +17,7 @@ from .optimal import OptimalSearchResult, SearchBudgetExceeded, optimal_rbw_io
 from .parallel import ParallelRBWPebbleGame
 from .rbw import RBWPebbleGame
 from .redblue import RedBluePebbleGame
-from .state import GameError, GameRecord, Move, MoveKind
+from .state import GameError, GameRecord, Move, MoveKind, MoveLog
 from .strategies import (
     contiguous_block_assignment,
     parallel_spill_game,
@@ -38,6 +38,7 @@ __all__ = [
     "GameRecord",
     "Move",
     "MoveKind",
+    "MoveLog",
     "contiguous_block_assignment",
     "parallel_spill_game",
     "spill_game_rbw",

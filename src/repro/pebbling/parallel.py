@@ -39,21 +39,56 @@ Like the sequential engines, the P-RBW engine runs on the compiled
 integer-indexed backend: pebble shade sets are keyed by vertex id, and
 the ``*_id`` rule methods let the owner-computes strategy skip vertex
 hashing.  ``pebbles``/``blue``/``white``/``occupancy`` remain available
-as vertex-space views.
+as vertex-space views.  Each transition appends one row of integers —
+opcode, vertex id, packed ``(level, index)`` location/source — to the
+columnar :class:`~repro.pebbling.state.MoveLog`, which is what lets games
+reach 10^6+ moves; :meth:`replay` re-validates a recorded log straight
+off those columns.
+
+Usage example (doctest)::
+
+    >>> from repro.core.builders import chain_cdag
+    >>> from repro.pebbling import MemoryHierarchy, ParallelRBWPebbleGame
+    >>> h = MemoryHierarchy.cluster(nodes=2, cores_per_node=1,
+    ...                             registers_per_core=4, cache_size=8)
+    >>> game = ParallelRBWPebbleGame(chain_cdag(2), h)
+    >>> game.load(("chain", 0), node=0)          # R1 into node 0 (level 3)
+    >>> game.move_up(("chain", 0), 2, 0)         # R4 toward the processor
+    >>> game.move_up(("chain", 0), 1, 0)
+    >>> game.compute(("chain", 1), processor=0)  # R6 on processor 0
+    >>> game.compute(("chain", 2), processor=0)
+    >>> game.move_down(("chain", 2), 2, 0); game.move_down(("chain", 2), 3, 0)
+    >>> game.store(("chain", 2), node=0)         # R2: blue on the output
+    >>> game.is_complete()
+    True
+    >>> game.record.summary()["moves"], game.record.total_vertical_io
+    (8, 4)
+    >>> replayed = ParallelRBWPebbleGame(chain_cdag(2), h).replay(game.record)
+    >>> replayed.summary() == game.record.summary()
+    True
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from ..core.cdag import CDAG, Vertex
 from .hierarchy import MemoryHierarchy
 from .state import (
+    _INST_MASK,
+    _INST_SHIFT,
+    OP_COMPUTE,
+    OP_DELETE,
+    OP_LOAD,
+    OP_MOVE_DOWN,
+    OP_MOVE_UP,
+    OP_REMOTE_GET,
+    OP_STORE,
     CompiledEngineMixin,
     GameError,
     GameRecord,
-    Move,
     MoveKind,
+    MoveLog,
     VertexSetView,
 )
 
@@ -147,7 +182,7 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
         self.occupancy_ids: Dict[Instance, Set[int]] = {}
         self.blue_ids: Set[int] = set(self._input_ids)
         self.white_ids: Set[int] = set()
-        self.record = GameRecord()
+        self.record = self._new_record()
 
     # ------------------------------------------------------------------
     # Vertex-space views (API compatibility; not used on hot paths)
@@ -214,7 +249,7 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
         inst = (L, node)
         self._place(i, inst)
         self.white_ids.add(i)
-        self.record.append(Move(MoveKind.LOAD, self._c.vertex(i), location=inst))
+        self._log_append(OP_LOAD, i, (L << _INST_SHIFT) | node)
         self.record.horizontal_io[node] = (
             self.record.horizontal_io.get(node, 0) + 1
         )
@@ -234,7 +269,7 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
                 f"level-{L} pebble of node {node}"
             )
         self.blue_ids.add(i)
-        self.record.append(Move(MoveKind.STORE, self._c.vertex(i), location=inst))
+        self._log_append(OP_STORE, i, (L << _INST_SHIFT) | node)
 
     def remote_get(self, v: Vertex, dst_node: int, src_node: int) -> None:
         """R3: copy a value between two level-L memories (horizontal)."""
@@ -253,8 +288,11 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
                 f"level-{L} pebble of node {src_node}"
             )
         self._place(i, dst)
-        self.record.append(
-            Move(MoveKind.REMOTE_GET, self._c.vertex(i), location=dst, source=src)
+        self._log_append(
+            OP_REMOTE_GET,
+            i,
+            (L << _INST_SHIFT) | dst_node,
+            (L << _INST_SHIFT) | src_node,
         )
         self.record.horizontal_io[dst_node] = (
             self.record.horizontal_io.get(dst_node, 0) + 1
@@ -280,13 +318,11 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
                 f"of parent {parent} of ({level}, {index})"
             )
         self._place(i, (level, index))
-        self.record.append(
-            Move(
-                MoveKind.MOVE_UP,
-                self._c.vertex(i),
-                location=(level, index),
-                source=parent,
-            )
+        self._log_append(
+            OP_MOVE_UP,
+            i,
+            (level << _INST_SHIFT) | index,
+            (parent[0] << _INST_SHIFT) | parent[1],
         )
         # Traffic crosses the link between `parent` and its children.
         self.record.vertical_io[parent] = (
@@ -315,13 +351,11 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
                 f"child of ({level}, {index})"
             )
         self._place(i, (level, index))
-        self.record.append(
-            Move(
-                MoveKind.MOVE_DOWN,
-                self._c.vertex(i),
-                location=(level, index),
-                source=holders[0],
-            )
+        self._log_append(
+            OP_MOVE_DOWN,
+            i,
+            (level << _INST_SHIFT) | index,
+            (holders[0][0] << _INST_SHIFT) | holders[0][1],
         )
         self.record.vertical_io[(level, index)] = (
             self.record.vertical_io.get((level, index), 0) + 1
@@ -358,7 +392,7 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
             )
         self._place(i, reg)
         self.white_ids.add(i)
-        self.record.append(Move(MoveKind.COMPUTE, self._c.vertex(i), location=reg))
+        self._log_append(OP_COMPUTE, i, (1 << _INST_SHIFT) | processor)
         self.record.compute_per_processor[processor] = (
             self.record.compute_per_processor.get(processor, 0) + 1
         )
@@ -378,7 +412,7 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
             )
         got.remove(inst)
         self.occupancy_ids[inst].discard(i)
-        self.record.append(Move(MoveKind.DELETE, self._c.vertex(i), location=inst))
+        self._log_append(OP_DELETE, i, (level << _INST_SHIFT) | index)
 
     # ------------------------------------------------------------------
     # Completion
@@ -411,3 +445,67 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
                 f"{len(missing_out)} outputs without blue pebbles "
                 f"(e.g. {missing_out[:3]})"
             )
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(self, moves) -> GameRecord:
+        """Validate and replay a recorded P-RBW game from the initial state.
+
+        Accepts a :class:`~repro.pebbling.state.GameRecord`, a
+        :class:`~repro.pebbling.state.MoveLog`, or an iterable of
+        :class:`Move` objects.  A columnar log bound to this engine's
+        compiled CDAG replays directly off the four integer columns
+        (opcode, vertex id, packed location, packed source) — the decoded
+        ``(level, index)`` arithmetic is two shifts per move, with no
+        ``Move`` materialization.
+        """
+        self.reset()
+        log = moves.log if isinstance(moves, GameRecord) else moves
+        if isinstance(log, MoveLog) and log.is_bound_to(self._c):
+            kinds, vids, locs, srcs = log.columns()
+            for code, vid, loc, src in zip(
+                kinds.tolist(), vids.tolist(), locs.tolist(), srcs.tolist()
+            ):
+                level, index = loc >> _INST_SHIFT, loc & _INST_MASK
+                if code == OP_COMPUTE:
+                    self.compute_id(vid, index)
+                elif code == OP_MOVE_UP:
+                    self.move_up_id(vid, level, index)
+                elif code == OP_MOVE_DOWN:
+                    self.move_down_id(vid, level, index)
+                elif code == OP_DELETE:
+                    self.delete_id(vid, level, index)
+                elif code == OP_LOAD:
+                    self.load_id(vid, index)
+                elif code == OP_STORE:
+                    self.store_id(vid, index)
+                elif code == OP_REMOTE_GET:
+                    self.remote_get_id(vid, index, src & _INST_MASK)
+                else:  # pragma: no cover - unreachable with engine logs
+                    raise GameError(f"unknown move opcode {code}")
+        else:
+            for move in log:
+                kind = move.kind
+                loc = move.location
+                if kind is MoveKind.COMPUTE:
+                    self.compute(move.vertex, loc[1])
+                elif kind is MoveKind.MOVE_UP:
+                    self.move_up(move.vertex, loc[0], loc[1])
+                elif kind is MoveKind.MOVE_DOWN:
+                    self.move_down(move.vertex, loc[0], loc[1])
+                elif kind is MoveKind.DELETE:
+                    self.delete(move.vertex, loc[0], loc[1])
+                elif kind is MoveKind.LOAD:
+                    self.load(move.vertex, loc[1])
+                elif kind is MoveKind.STORE:
+                    self.store(move.vertex, loc[1])
+                elif kind is MoveKind.REMOTE_GET:
+                    self.remote_get(move.vertex, loc[1], move.source[1])
+                else:  # pragma: no cover - exhaustive over MoveKind
+                    raise GameError(
+                        f"move kind {kind} is not part of the P-RBW game"
+                    )
+        self.assert_complete()
+        return self.record
+

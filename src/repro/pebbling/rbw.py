@@ -21,20 +21,26 @@ Like the red-blue engine, this engine runs on the compiled
 integer-indexed CDAG backend: the red/blue/white pebble sets hold vertex
 ids, and the ``*_id`` methods let the spill strategies avoid vertex-name
 hashing entirely.  ``red``/``blue``/``white`` remain available as
-set-like vertex-space views.
+set-like vertex-space views.  Moves land in the columnar
+:class:`~repro.pebbling.state.MoveLog`, and :meth:`replay` reads its
+integer columns directly when the log is bound to the same compiled CDAG.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Set
 
 from ..core.cdag import CDAG, Vertex
 from .state import (
+    OP_COMPUTE,
+    OP_DELETE,
+    OP_LOAD,
+    OP_STORE,
     CompiledEngineMixin,
     GameError,
     GameRecord,
-    Move,
     MoveKind,
+    MoveLog,
     VertexSetView,
 )
 
@@ -73,7 +79,7 @@ class RBWPebbleGame(CompiledEngineMixin):
         self.red_ids: Set[int] = set()
         self.blue_ids: Set[int] = set(self._input_ids)
         self.white_ids: Set[int] = set()
-        self.record = GameRecord()
+        self.record = self._new_record()
 
     @property
     def red(self) -> VertexSetView:
@@ -110,7 +116,7 @@ class RBWPebbleGame(CompiledEngineMixin):
             )
         self._acquire_red(i)
         self.white_ids.add(i)
-        self.record.append(Move(MoveKind.LOAD, self._c.vertex(i)))
+        self._log_append(OP_LOAD, i)
 
     def store(self, v: Vertex) -> None:
         """R2: blue pebble on a red-pebbled vertex."""
@@ -123,7 +129,7 @@ class RBWPebbleGame(CompiledEngineMixin):
                 f"R2 violated: {self._c.vertex(i)!r} has no red pebble"
             )
         self.blue_ids.add(i)
-        self.record.append(Move(MoveKind.STORE, self._c.vertex(i)))
+        self._log_append(OP_STORE, i)
 
     def compute(self, v: Vertex) -> None:
         """R3: fire ``v`` if it has no white pebble and all predecessors
@@ -155,7 +161,7 @@ class RBWPebbleGame(CompiledEngineMixin):
                 )
         self._acquire_red(i)
         self.white_ids.add(i)
-        self.record.append(Move(MoveKind.COMPUTE, self._c.vertex(i)))
+        self._log_append(OP_COMPUTE, i)
 
     def delete(self, v: Vertex) -> None:
         """R4: remove a red pebble."""
@@ -168,7 +174,7 @@ class RBWPebbleGame(CompiledEngineMixin):
                 f"R4 violated: {self._c.vertex(i)!r} has no red pebble"
             )
         self.red_ids.remove(i)
-        self.record.append(Move(MoveKind.DELETE, self._c.vertex(i)))
+        self._log_append(OP_DELETE, i)
 
     def _acquire_red(self, i: int) -> None:
         if len(self.red_ids) >= self.num_red:
@@ -223,21 +229,41 @@ class RBWPebbleGame(CompiledEngineMixin):
             )
 
     # ------------------------------------------------------------------
-    def replay(self, moves: Iterable[Move]) -> GameRecord:
-        """Validate and replay a full move sequence from the initial state."""
+    def replay(self, moves) -> GameRecord:
+        """Validate and replay a full move sequence from the initial state.
+
+        Accepts a :class:`~repro.pebbling.state.GameRecord`, a
+        :class:`~repro.pebbling.state.MoveLog`, or any iterable of
+        :class:`Move` objects; a columnar log bound to this engine's
+        compiled CDAG replays directly off the integer columns.
+        """
         self.reset()
-        dispatch = {
-            MoveKind.LOAD: self.load,
-            MoveKind.STORE: self.store,
-            MoveKind.COMPUTE: self.compute,
-            MoveKind.DELETE: self.delete,
-        }
-        for move in moves:
-            handler = dispatch.get(move.kind)
-            if handler is None:
-                raise GameError(
-                    f"move kind {move.kind} is not part of the RBW game"
-                )
-            handler(move.vertex)
+        log = moves.log if isinstance(moves, GameRecord) else moves
+        if isinstance(log, MoveLog) and log.is_bound_to(self._c):
+            handlers = (
+                self.load_id, self.store_id, self.compute_id, self.delete_id,
+            )
+            for code, vid in zip(
+                log.kinds().tolist(), log.vertex_ids().tolist()
+            ):
+                if code >= len(handlers):
+                    raise GameError(
+                        f"move opcode {code} is not part of the RBW game"
+                    )
+                handlers[code](vid)
+        else:
+            dispatch = {
+                MoveKind.LOAD: self.load,
+                MoveKind.STORE: self.store,
+                MoveKind.COMPUTE: self.compute,
+                MoveKind.DELETE: self.delete,
+            }
+            for move in log:
+                handler = dispatch.get(move.kind)
+                if handler is None:
+                    raise GameError(
+                        f"move kind {move.kind} is not part of the RBW game"
+                    )
+                handler(move.vertex)
         self.assert_complete()
         return self.record

@@ -24,20 +24,27 @@ Internally the engine runs on the compiled integer-indexed CDAG backend
 checks walk precomputed id lists, and vertex names only appear at the API
 boundary (the ``*_id`` methods skip even that conversion — the spill
 strategies use them directly).  ``red``/``blue`` remain available as
-set-like views in vertex space.
+set-like views in vertex space.  Moves are recorded into the columnar
+:class:`~repro.pebbling.state.MoveLog` — a handful of integer appends per
+transition — and :meth:`replay` reads the log's opcode/vertex-id columns
+directly when it is bound to the same compiled CDAG.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Set
 
 from ..core.cdag import CDAG, Vertex
 from .state import (
+    OP_COMPUTE,
+    OP_DELETE,
+    OP_LOAD,
+    OP_STORE,
     CompiledEngineMixin,
     GameError,
     GameRecord,
-    Move,
     MoveKind,
+    MoveLog,
     VertexSetView,
 )
 
@@ -81,7 +88,7 @@ class RedBluePebbleGame(CompiledEngineMixin):
         self._rebind_if_stale()
         self.red_ids: Set[int] = set()
         self.blue_ids: Set[int] = set(self._input_ids)
-        self.record = GameRecord()
+        self.record = self._new_record()
 
     @property
     def red(self) -> VertexSetView:
@@ -111,7 +118,7 @@ class RedBluePebbleGame(CompiledEngineMixin):
                 f"R1 wasted: {self._c.vertex(i)!r} already has a red pebble"
             )
         self._acquire_red(i)
-        self.record.append(Move(MoveKind.LOAD, self._c.vertex(i)))
+        self._log_append(OP_LOAD, i)
 
     def store(self, v: Vertex) -> None:
         """R2: place a blue pebble on a red-pebbled vertex."""
@@ -124,7 +131,7 @@ class RedBluePebbleGame(CompiledEngineMixin):
                 f"R2 violated: {self._c.vertex(i)!r} has no red pebble"
             )
         self.blue_ids.add(i)
-        self.record.append(Move(MoveKind.STORE, self._c.vertex(i)))
+        self._log_append(OP_STORE, i)
 
     def compute(self, v: Vertex) -> None:
         """R3: fire a non-input vertex whose predecessors all hold red pebbles."""
@@ -149,7 +156,7 @@ class RedBluePebbleGame(CompiledEngineMixin):
                 )
         if i not in red:
             self._acquire_red(i)
-        self.record.append(Move(MoveKind.COMPUTE, self._c.vertex(i)))
+        self._log_append(OP_COMPUTE, i)
 
     def delete(self, v: Vertex) -> None:
         """R4: remove a red pebble."""
@@ -162,7 +169,7 @@ class RedBluePebbleGame(CompiledEngineMixin):
                 f"R4 violated: {self._c.vertex(i)!r} has no red pebble"
             )
         self.red_ids.remove(i)
-        self.record.append(Move(MoveKind.DELETE, self._c.vertex(i)))
+        self._log_append(OP_DELETE, i)
 
     def _acquire_red(self, i: int) -> None:
         if len(self.red_ids) >= self.num_red:
@@ -195,22 +202,43 @@ class RedBluePebbleGame(CompiledEngineMixin):
     # ------------------------------------------------------------------
     # Replay
     # ------------------------------------------------------------------
-    def replay(self, moves: Iterable[Move]) -> GameRecord:
+    def replay(self, moves) -> GameRecord:
         """Replay a move sequence from the initial state, validating every
-        move, and return the resulting record."""
+        move, and return the resulting record.
+
+        Accepts a :class:`~repro.pebbling.state.GameRecord`, a
+        :class:`~repro.pebbling.state.MoveLog`, or any iterable of
+        :class:`Move` objects.  A columnar log bound to this engine's
+        compiled CDAG replays straight off the opcode/vertex-id columns —
+        no ``Move`` materialization, no name hashing.
+        """
         self.reset()
-        dispatch = {
-            MoveKind.LOAD: self.load,
-            MoveKind.STORE: self.store,
-            MoveKind.COMPUTE: self.compute,
-            MoveKind.DELETE: self.delete,
-        }
-        for move in moves:
-            handler = dispatch.get(move.kind)
-            if handler is None:
-                raise GameError(
-                    f"move kind {move.kind} is not part of the red-blue game"
-                )
-            handler(move.vertex)
+        log = moves.log if isinstance(moves, GameRecord) else moves
+        if isinstance(log, MoveLog) and log.is_bound_to(self._c):
+            handlers = (
+                self.load_id, self.store_id, self.compute_id, self.delete_id,
+            )
+            for code, vid in zip(
+                log.kinds().tolist(), log.vertex_ids().tolist()
+            ):
+                if code >= len(handlers):
+                    raise GameError(
+                        f"move opcode {code} is not part of the red-blue game"
+                    )
+                handlers[code](vid)
+        else:
+            dispatch = {
+                MoveKind.LOAD: self.load,
+                MoveKind.STORE: self.store,
+                MoveKind.COMPUTE: self.compute,
+                MoveKind.DELETE: self.delete,
+            }
+            for move in log:
+                handler = dispatch.get(move.kind)
+                if handler is None:
+                    raise GameError(
+                        f"move kind {move.kind} is not part of the red-blue game"
+                    )
+                handler(move.vertex)
         self.assert_complete()
         return self.record

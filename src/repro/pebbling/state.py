@@ -1,8 +1,9 @@
-"""Move and game-record types shared by the pebble-game engines.
+"""Move vocabulary, the columnar move log, and game records shared by the
+pebble-game engines.
 
-A pebble game is recorded as a sequence of :class:`Move` objects.  Each
-engine (red-blue, RBW, parallel RBW) validates moves against its own rule
-set but shares this vocabulary:
+A pebble game is recorded as a sequence of *moves*.  Each engine
+(red-blue, RBW, parallel RBW) validates moves against its own rule set
+but shares this vocabulary:
 
 * ``LOAD``     — rule R1: slow memory -> fast memory (red pebble placed on
   a blue-pebbled vertex);
@@ -17,26 +18,73 @@ set but shares this vocabulary:
 * ``MOVE_DOWN`` — P-RBW rule R5: copy from a level-(l-1) store to its
   parent level-l store (vertical movement, away from the processor).
 
-The :class:`GameRecord` accumulates moves and cost counters; engines
-return one from :meth:`run` so that tests and benchmarks can inspect both
-the per-rule counts and the derived I/O costs.
+Columnar storage
+----------------
+Games at the scales the compiled CDAG backend targets (10^6+ moves) can
+no longer afford one :class:`Move` object per transition.  The engines
+therefore append into a :class:`MoveLog`: parallel columns of small
+integers — ``(opcode, vertex_id, location, source)``, with the row index
+serving as the step/timestamp — staged in plain-int Python lists and
+flushed to compact numpy blocks every ``block_size`` appends.  A 10^6-move
+P-RBW log costs ~13 MB of arrays instead of hundreds of MB of dataclass
+instances.
+
+:class:`Move` objects still exist, but only as a *lazy view*: iterating or
+indexing a :class:`MoveLog` (or ``GameRecord.moves``, which simply returns
+the log) materializes ``Move`` instances on demand, so all seed-era call
+sites (``for m in record.moves``, ``len(record.moves)``,
+``game.replay(record.moves)``) keep working unchanged, while column-aware
+consumers (engine ``replay``, ``partition_from_game``, the distsim
+executor) read the integer arrays directly.
+
+Usage example (doctest)::
+
+    >>> from repro.core.builders import chain_cdag
+    >>> from repro.pebbling import RBWPebbleGame
+    >>> game = RBWPebbleGame(chain_cdag(2), num_red=2)
+    >>> game.load(("chain", 0)); game.compute(("chain", 1))
+    >>> game.delete(("chain", 0)); game.compute(("chain", 2))
+    >>> game.store(("chain", 2))
+    >>> record = game.record
+    >>> record.io_count, record.compute_count, record.peak_red
+    (2, 2, 2)
+    >>> [m.kind.name for m in record.moves]
+    ['LOAD', 'COMPUTE', 'DELETE', 'COMPUTE', 'STORE']
+    >>> record.moves[1]
+    Move(kind=<MoveKind.COMPUTE: 'compute'>, vertex=('chain', 1), location=None, source=None)
+    >>> record.log.kinds().tolist()  # the raw opcode column
+    [0, 2, 3, 2, 1]
+    >>> int(record.log.steps[-1])   # step/timestamp == row index
+    4
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
 
 from ..core.cdag import Vertex
 
 __all__ = [
     "MoveKind",
     "Move",
+    "MoveLog",
     "GameRecord",
     "GameError",
     "VertexSetView",
     "CompiledEngineMixin",
+    "OP_LOAD",
+    "OP_STORE",
+    "OP_COMPUTE",
+    "OP_DELETE",
+    "OP_REMOTE_GET",
+    "OP_MOVE_UP",
+    "OP_MOVE_DOWN",
+    "encode_instance",
+    "decode_instance",
 ]
 
 
@@ -108,6 +156,13 @@ class CompiledEngineMixin:
         if self.cdag._compiled is not self._c:
             self._bind()
 
+    def _new_record(self) -> "GameRecord":
+        """A fresh :class:`GameRecord` whose log is bound to the compiled
+        CDAG; also caches the hot bound-method ``self._log_append``."""
+        record = GameRecord(log=MoveLog(compiled=self._c))
+        self._log_append = record.log.append_ids
+        return record
+
     def _id(self, v: Vertex) -> int:
         try:
             return self._c._index[v]
@@ -131,6 +186,51 @@ class MoveKind(enum.Enum):
     MOVE_DOWN = "move_down"  # P-RBW R5 (level l-1 -> l)
 
 
+#: Integer opcodes of the move-log ``kinds`` column, in a fixed order the
+#: engines and benchmarks rely on (sequential rules first).
+OP_LOAD = 0
+OP_STORE = 1
+OP_COMPUTE = 2
+OP_DELETE = 3
+OP_REMOTE_GET = 4
+OP_MOVE_UP = 5
+OP_MOVE_DOWN = 6
+
+_KIND_LIST = [
+    MoveKind.LOAD,
+    MoveKind.STORE,
+    MoveKind.COMPUTE,
+    MoveKind.DELETE,
+    MoveKind.REMOTE_GET,
+    MoveKind.MOVE_UP,
+    MoveKind.MOVE_DOWN,
+]
+_CODE_OF_KIND: Dict[MoveKind, int] = {k: i for i, k in enumerate(_KIND_LIST)}
+_NUM_OPCODES = len(_KIND_LIST)
+
+#: Storage instances ``(level, index)`` are packed into one int32 column:
+#: ``level`` in the high bits, ``index`` in the low 24 bits; ``-1`` means
+#: "no instance" (sequential moves).
+_INST_SHIFT = 24
+_INST_MASK = (1 << _INST_SHIFT) - 1
+_NO_INST = -1
+
+
+def encode_instance(inst: Optional[Tuple[int, int]]) -> int:
+    """Pack a ``(level, index)`` storage instance into one int (-1 = None)."""
+    if inst is None:
+        return _NO_INST
+    level, index = inst
+    return (level << _INST_SHIFT) | index
+
+
+def decode_instance(code: int) -> Optional[Tuple[int, int]]:
+    """Inverse of :func:`encode_instance`."""
+    if code < 0:
+        return None
+    return (code >> _INST_SHIFT, code & _INST_MASK)
+
+
 @dataclass(frozen=True)
 class Move:
     """One transition of a pebble game.
@@ -138,6 +238,11 @@ class Move:
     ``location`` identifies which memory instance is involved for the
     parallel game: a ``(level, index)`` pair for loads/moves, or the
     processor index for computes.  Sequential games leave it ``None``.
+
+    Engines no longer *store* ``Move`` objects — they fill the columnar
+    :class:`MoveLog` — but moves materialize lazily whenever a log is
+    iterated or indexed, so ``Move`` remains the unit of the public replay
+    and inspection API.
     """
 
     kind: MoveKind
@@ -150,44 +255,353 @@ class Move:
         return self.kind in (MoveKind.LOAD, MoveKind.STORE)
 
 
-@dataclass
-class GameRecord:
-    """The result of running a pebble game: the move log and counters."""
+class MoveLog:
+    """Columnar log of pebble-game moves: parallel numpy-backed columns.
 
-    moves: List[Move] = field(default_factory=list)
-    counts: Dict[MoveKind, int] = field(default_factory=dict)
-    #: vertical traffic per (level, instance): number of words moved into
-    #: that storage instance from below or above (P-RBW only)
-    vertical_io: Dict[Tuple[int, int], int] = field(default_factory=dict)
-    #: horizontal traffic per level-L instance: number of remote gets it issued
-    horizontal_io: Dict[int, int] = field(default_factory=dict)
-    #: compute operations per processor (P-RBW only)
-    compute_per_processor: Dict[int, int] = field(default_factory=dict)
-    #: peak number of simultaneously used red pebbles (sequential games)
-    peak_red: int = 0
+    Four parallel columns — ``kinds`` (int8 opcode), ``vertex_ids``
+    (int32), ``locations`` and ``sources`` (int32 packed ``(level,
+    index)`` instances, ``-1`` when absent) — plus the implicit ``steps``
+    column (the row index; every move advances the logical clock by one).
+    Appends go into plain-int staging lists and are flushed to immutable
+    numpy blocks every ``block_size`` entries, so a long game costs a few
+    bytes per move instead of a ~200-byte ``Move`` dataclass.
+
+    Vertex encoding: when the log is bound to a
+    :class:`~repro.core.compiled.CompiledCDAG` (``compiled=...``), vertex
+    ids are the compiled ids (>= 0).  Vertices outside the table — or any
+    vertex when the log is unbound, as in hand-built
+    :class:`GameRecord` objects — are interned into a local side table and
+    encoded as negative ids.  Engine-produced logs never contain negative
+    ids, which is what the column fast paths check via :meth:`is_bound_to`.
+
+    The log is a lazy sequence of :class:`Move` objects: ``len``,
+    iteration, indexing and slicing all work, materializing moves on
+    demand only.
+    """
+
+    __slots__ = (
+        "_compiled",
+        "block_size",
+        "_blocks",
+        "_kinds",
+        "_vids",
+        "_locs",
+        "_srcs",
+        "_len",
+        "_extra_verts",
+        "_extra_index",
+        "_cols",
+        "_cols_len",
+        "_counts",
+        "_counts_len",
+        "_steps",
+    )
+
+    def __init__(self, compiled=None, block_size: int = 65536) -> None:
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self._compiled = compiled
+        self.block_size = block_size
+        #: flushed blocks: (kinds int8, vids int32, locs int32|None, srcs ...)
+        self._blocks: List[tuple] = []
+        self._kinds: List[int] = []
+        self._vids: List[int] = []
+        #: staged location/source columns; ``None`` until a located move
+        #: arrives (sequential games never pay for them)
+        self._locs: Optional[List[int]] = None
+        self._srcs: Optional[List[int]] = None
+        self._len = 0
+        self._extra_verts: List[Vertex] = []
+        self._extra_index: Dict[Vertex, int] = {}
+        self._cols = None
+        self._cols_len = -1
+        self._counts: Optional[Dict[MoveKind, int]] = None
+        self._counts_len = -1
+        self._steps: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Appending (the engine hot path)
+    # ------------------------------------------------------------------
+    def append_ids(
+        self, code: int, vid: int, loc: int = _NO_INST, src: int = _NO_INST
+    ) -> None:
+        """Append one move as raw column values.
+
+        ``code`` is an ``OP_*`` opcode, ``vid`` a vertex id of the bound
+        compiled CDAG, ``loc``/``src`` packed instances from
+        :func:`encode_instance` (default: none).  This is the single hot
+        call the engines make per transition.
+        """
+        self._kinds.append(code)
+        self._vids.append(vid)
+        locs = self._locs
+        if locs is not None:
+            locs.append(loc)
+            self._srcs.append(src)
+        elif loc != _NO_INST or src != _NO_INST:
+            pad = len(self._kinds) - 1
+            self._locs = [_NO_INST] * pad + [loc]
+            self._srcs = [_NO_INST] * pad + [src]
+        self._len += 1
+        if len(self._kinds) >= self.block_size:
+            self._flush()
 
     def append(self, move: Move) -> None:
-        self.moves.append(move)
-        self.counts[move.kind] = self.counts.get(move.kind, 0) + 1
+        """Append a :class:`Move` object (compatibility path)."""
+        self.append_ids(
+            _CODE_OF_KIND[move.kind],
+            self._encode_vertex(move.vertex),
+            encode_instance(move.location),
+            encode_instance(move.source),
+        )
+
+    def _flush(self) -> None:
+        """Move the staging lists into an immutable numpy block."""
+        if not self._kinds:
+            return
+        kinds = np.asarray(self._kinds, dtype=np.int8)
+        vids = np.asarray(self._vids, dtype=np.int32)
+        if self._locs is not None:
+            locs = np.asarray(self._locs, dtype=np.int32)
+            srcs = np.asarray(self._srcs, dtype=np.int32)
+            self._locs = []
+            self._srcs = []
+        else:
+            locs = srcs = None
+        self._blocks.append((kinds, vids, locs, srcs))
+        self._kinds = []
+        self._vids = []
+
+    # ------------------------------------------------------------------
+    # Vertex encoding
+    # ------------------------------------------------------------------
+    def _encode_vertex(self, v: Vertex) -> int:
+        if self._compiled is not None:
+            i = self._compiled._index.get(v)
+            if i is not None:
+                return i
+        idx = self._extra_index.get(v)
+        if idx is None:
+            idx = len(self._extra_verts)
+            self._extra_verts.append(v)
+            self._extra_index[v] = idx
+        return -idx - 1
+
+    def vertex_of(self, vid: int) -> Vertex:
+        """The vertex named by a (possibly negative) log vertex id."""
+        if vid >= 0:
+            return self._compiled._verts[vid]
+        return self._extra_verts[-vid - 1]
+
+    def is_bound_to(self, compiled) -> bool:
+        """True when every vertex id is an id of ``compiled`` — the
+        precondition for the zero-conversion column fast paths."""
+        return self._compiled is compiled and not self._extra_verts
+
+    # ------------------------------------------------------------------
+    # Columns
+    # ------------------------------------------------------------------
+    def columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The four parallel columns ``(kinds, vertex_ids, locations,
+        sources)`` as numpy arrays (concatenated blocks + staging; cached
+        until the next append).  Treat them as read-only."""
+        if self._cols_len == self._len:
+            return self._cols
+        parts_k: List[np.ndarray] = []
+        parts_v: List[np.ndarray] = []
+        parts_l: List[np.ndarray] = []
+        parts_s: List[np.ndarray] = []
+        for kinds, vids, locs, srcs in self._blocks:
+            parts_k.append(kinds)
+            parts_v.append(vids)
+            if locs is None:
+                locs = np.full(len(kinds), _NO_INST, dtype=np.int32)
+                srcs = locs
+            parts_l.append(locs)
+            parts_s.append(srcs)
+        if self._kinds:
+            parts_k.append(np.asarray(self._kinds, dtype=np.int8))
+            parts_v.append(np.asarray(self._vids, dtype=np.int32))
+            if self._locs is not None:
+                parts_l.append(np.asarray(self._locs, dtype=np.int32))
+                parts_s.append(np.asarray(self._srcs, dtype=np.int32))
+            else:
+                pad = np.full(len(self._kinds), _NO_INST, dtype=np.int32)
+                parts_l.append(pad)
+                parts_s.append(pad)
+        if parts_k:
+            cols = (
+                np.concatenate(parts_k),
+                np.concatenate(parts_v),
+                np.concatenate(parts_l),
+                np.concatenate(parts_s),
+            )
+        else:
+            cols = (
+                np.empty(0, dtype=np.int8),
+                np.empty(0, dtype=np.int32),
+                np.empty(0, dtype=np.int32),
+                np.empty(0, dtype=np.int32),
+            )
+        self._cols = cols
+        self._cols_len = self._len
+        return cols
+
+    def kinds(self) -> np.ndarray:
+        """The opcode column (int8, values ``OP_*``)."""
+        return self.columns()[0]
+
+    def vertex_ids(self) -> np.ndarray:
+        """The vertex-id column (int32)."""
+        return self.columns()[1]
+
+    def locations(self) -> np.ndarray:
+        """The packed target-instance column (int32, -1 = none)."""
+        return self.columns()[2]
+
+    def sources(self) -> np.ndarray:
+        """The packed source-instance column (int32, -1 = none)."""
+        return self.columns()[3]
+
+    @property
+    def steps(self) -> np.ndarray:
+        """The step/timestamp column.  Moves are recorded in game order
+        and every move advances the logical clock by one, so the
+        timestamp *is* the row index (cached until the next append)."""
+        if self._steps is None or len(self._steps) != self._len:
+            self._steps = np.arange(self._len, dtype=np.int64)
+        return self._steps
+
+    def counts(self) -> Dict[MoveKind, int]:
+        """Per-kind move counts, computed vectorized from the opcode
+        column (cached until the next append).  Only kinds that occur are
+        present, matching the seed's incrementally-built dict."""
+        if self._counts_len != self._len:
+            bins = np.bincount(self.kinds(), minlength=_NUM_OPCODES)
+            self._counts = {
+                _KIND_LIST[code]: int(cnt)
+                for code, cnt in enumerate(bins.tolist())
+                if cnt
+            }
+            self._counts_len = self._len
+        return dict(self._counts)
+
+    def ids_of_kind(self, kind: MoveKind) -> np.ndarray:
+        """Vertex ids of every move of ``kind``, in game order (vectorized
+        column filter — e.g. the fired-operation schedule for COMPUTE)."""
+        kinds, vids, _, _ = self.columns()
+        return vids[kinds == _CODE_OF_KIND[kind]]
+
+    # ------------------------------------------------------------------
+    # Lazy Move view (sequence protocol)
+    # ------------------------------------------------------------------
+    def _move_at(self, row: int, cols) -> Move:
+        kinds, vids, locs, srcs = cols
+        return Move(
+            _KIND_LIST[kinds[row]],
+            self.vertex_of(int(vids[row])),
+            decode_instance(int(locs[row])),
+            decode_instance(int(srcs[row])),
+        )
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def __iter__(self) -> Iterator[Move]:
+        kinds, vids, locs, srcs = self.columns()
+        vertex_of = self.vertex_of
+        for code, vid, loc, src in zip(
+            kinds.tolist(), vids.tolist(), locs.tolist(), srcs.tolist()
+        ):
+            yield Move(
+                _KIND_LIST[code],
+                vertex_of(vid),
+                decode_instance(loc),
+                decode_instance(src),
+            )
+
+    def __getitem__(self, item: Union[int, slice]):
+        cols = self.columns()
+        if isinstance(item, slice):
+            return [
+                self._move_at(r, cols) for r in range(*item.indices(self._len))
+            ]
+        row = item
+        if row < 0:
+            row += self._len
+        if not 0 <= row < self._len:
+            raise IndexError("move index out of range")
+        return self._move_at(row, cols)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MoveLog({self._len} moves, {len(self._blocks)} blocks)"
+
+
+class GameRecord:
+    """The result of running a pebble game: the move log and counters.
+
+    ``moves`` is a *lazy* :class:`Move` sequence backed by the columnar
+    :class:`MoveLog` in ``log`` — iterate or index it exactly like the
+    seed's list of moves, or read ``log``'s integer columns directly in
+    performance-sensitive code.
+    """
+
+    __slots__ = (
+        "log",
+        "vertical_io",
+        "horizontal_io",
+        "compute_per_processor",
+        "peak_red",
+    )
+
+    def __init__(self, log: Optional[MoveLog] = None) -> None:
+        #: the columnar move log
+        self.log: MoveLog = log if log is not None else MoveLog()
+        #: vertical traffic per (level, instance): number of words moved
+        #: into that storage instance from below or above (P-RBW only)
+        self.vertical_io: Dict[Tuple[int, int], int] = {}
+        #: horizontal traffic per level-L instance: remote gets it issued
+        self.horizontal_io: Dict[int, int] = {}
+        #: compute operations per processor (P-RBW only)
+        self.compute_per_processor: Dict[int, int] = {}
+        #: peak number of simultaneously used red pebbles (sequential)
+        self.peak_red: int = 0
+
+    @property
+    def moves(self) -> MoveLog:
+        """The move sequence (lazy ``Move`` view of the columnar log)."""
+        return self.log
+
+    @property
+    def counts(self) -> Dict[MoveKind, int]:
+        """Per-kind move counts (derived from the log's opcode column)."""
+        return self.log.counts()
+
+    def append(self, move: Move) -> None:
+        """Record a :class:`Move` (compatibility path; engines append
+        column values via ``log.append_ids`` instead)."""
+        self.log.append(move)
 
     @property
     def io_count(self) -> int:
         """Total R1 + R2 moves — the Hong-Kung / RBW I/O cost ``q``."""
-        return self.counts.get(MoveKind.LOAD, 0) + self.counts.get(
-            MoveKind.STORE, 0
-        )
+        counts = self.log.counts()
+        return counts.get(MoveKind.LOAD, 0) + counts.get(MoveKind.STORE, 0)
 
     @property
     def load_count(self) -> int:
-        return self.counts.get(MoveKind.LOAD, 0)
+        return self.log.counts().get(MoveKind.LOAD, 0)
 
     @property
     def store_count(self) -> int:
-        return self.counts.get(MoveKind.STORE, 0)
+        return self.log.counts().get(MoveKind.STORE, 0)
 
     @property
     def compute_count(self) -> int:
-        return self.counts.get(MoveKind.COMPUTE, 0)
+        return self.log.counts().get(MoveKind.COMPUTE, 0)
 
     @property
     def total_vertical_io(self) -> int:
@@ -212,7 +626,7 @@ class GameRecord:
     def summary(self) -> Dict[str, int]:
         """Flat dictionary of headline numbers for reports."""
         return {
-            "moves": len(self.moves),
+            "moves": len(self.log),
             "io": self.io_count,
             "loads": self.load_count,
             "stores": self.store_count,
@@ -221,3 +635,6 @@ class GameRecord:
             "vertical_io": self.total_vertical_io,
             "horizontal_io": self.total_horizontal_io,
         }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GameRecord({self.summary()!r})"

@@ -29,7 +29,12 @@ All strategies run entirely in the integer-id space of the compiled CDAG
 backend (:meth:`CDAG.compiled`): schedules are converted to id arrays
 once up front, pebble state and liveness counters are id-indexed lists,
 and the engines' ``*_id`` rule methods are used throughout, so no vertex
-name is hashed inside the spill loops.
+name is hashed inside the spill loops.  Each such rule call appends a row
+of plain integers to the engine's columnar
+:class:`~repro.pebbling.state.MoveLog`, so the records returned here stay
+cheap at 10^6+ moves and replay column-to-column (engine ``replay``,
+``partition_from_game``, ``DistributedExecutor.run_record``) without ever
+materializing ``Move`` objects.
 """
 
 from __future__ import annotations

@@ -1,0 +1,82 @@
+"""Synthetic pebble-game drivers shared by benchmarks and smoke tests.
+
+These are not strategies — they do not model a memory policy.  They exist
+to exercise the engines' move-recording hot path at a *chosen* move
+count: a rule-checked load/delete pump on a tiny chain CDAG, finished
+with a short hand-written tail so the game ends complete.  The move-log
+benchmarks (``benchmarks/bench_compiled_core.py``) time them per move,
+and the tier-1 bench smoke (``tests/test_docs_and_bench_smoke.py``)
+asserts the 10^6-move P-RBW acceptance bar on the same shape.
+"""
+
+from __future__ import annotations
+
+from ..core.builders import chain_cdag
+from .hierarchy import MemoryHierarchy
+from .parallel import ParallelRBWPebbleGame
+from .redblue import RedBluePebbleGame
+
+__all__ = ["prbw_pump_game", "redblue_pump_game"]
+
+#: moves in the completing tail of :func:`prbw_pump_game`
+PRBW_TAIL = 8
+#: moves in the completing tail of :func:`redblue_pump_game`
+REDBLUE_TAIL = 5
+
+
+def prbw_pump_game(target_moves: int) -> ParallelRBWPebbleGame:
+    """A complete P-RBW game with exactly ``target_moves`` moves.
+
+    The bulk is a load/delete pump on the input vertex of a 2-op chain
+    over a 2-node cluster hierarchy (every move rule-checked and logged);
+    the final 8 moves pull the chain through the hierarchy and store the
+    output, so the game ends complete.  ``target_moves`` must be even and
+    at least 8.
+    """
+    if target_moves < PRBW_TAIL or (target_moves - PRBW_TAIL) % 2:
+        raise ValueError(
+            f"target_moves must be even and >= {PRBW_TAIL}"
+        )
+    cdag = chain_cdag(2)
+    hierarchy = MemoryHierarchy.cluster(
+        nodes=2, cores_per_node=1, registers_per_core=4, cache_size=8
+    )
+    game = ParallelRBWPebbleGame(cdag, hierarchy)
+    i0 = int(cdag.compiled().input_ids[0])
+    L = hierarchy.num_levels
+    load, delete = game.load_id, game.delete_id
+    for _ in range((target_moves - PRBW_TAIL) // 2):
+        load(i0, 0)
+        delete(i0, L, 0)
+    game.load(("chain", 0), node=0)
+    game.move_up(("chain", 0), 2, 0)
+    game.move_up(("chain", 0), 1, 0)
+    game.compute(("chain", 1), processor=0)
+    game.compute(("chain", 2), processor=0)
+    game.move_down(("chain", 2), 2, 0)
+    game.move_down(("chain", 2), 3, 0)
+    game.store(("chain", 2), node=0)
+    return game
+
+
+def redblue_pump_game(target_moves: int) -> RedBluePebbleGame:
+    """A complete red-blue game with exactly ``target_moves`` moves
+    (load/delete pump, then a load-compute-compute-store-delete tail).
+    ``target_moves`` must be odd and at least 5."""
+    if target_moves < REDBLUE_TAIL or (target_moves - REDBLUE_TAIL) % 2:
+        raise ValueError(
+            f"target_moves must be odd and >= {REDBLUE_TAIL}"
+        )
+    cdag = chain_cdag(2)
+    game = RedBluePebbleGame(cdag, num_red=4)
+    i0 = int(cdag.compiled().input_ids[0])
+    load, delete = game.load_id, game.delete_id
+    for _ in range((target_moves - REDBLUE_TAIL) // 2):
+        load(i0)
+        delete(i0)
+    game.load(("chain", 0))
+    game.compute(("chain", 1))
+    game.compute(("chain", 2))
+    game.store(("chain", 2))
+    game.delete(("chain", 0))
+    return game

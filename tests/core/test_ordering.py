@@ -5,9 +5,11 @@ import pytest
 from repro.core import (
     chain_cdag,
     dfs_schedule,
+    dfs_schedule_ids,
     diamond_cdag,
     max_schedule_wavefront,
     min_liveset_schedule,
+    min_liveset_schedule_ids,
     outer_product_cdag,
     priority_schedule,
     reduction_tree_cdag,
@@ -78,6 +80,64 @@ class TestDFSSchedule:
         c = diamond_cdag(4, 3)
         sched = dfs_schedule(c, reverse_roots=True)
         validate_schedule(c, sched)
+
+
+class TestIdSpaceSchedulersMatchDictReference:
+    """The compiled id-space schedulers are pinned, schedule-for-schedule,
+    to the seed dict-backend implementations (same traces)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_dfs_equivalence_on_random_cdags(self, seed, random_dag):
+        cdag = random_dag(seed, 60, extra_edge_prob=0.2)
+        assert dfs_schedule(cdag) == dfs_schedule(cdag, backend="dict")
+        assert dfs_schedule(cdag, reverse_roots=True) == dfs_schedule(
+            cdag, reverse_roots=True, backend="dict"
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_min_liveset_equivalence_on_random_cdags(self, seed, random_dag):
+        cdag = random_dag(seed, 60, extra_edge_prob=0.2)
+        assert min_liveset_schedule(cdag) == min_liveset_schedule(
+            cdag, backend="dict"
+        )
+
+    @pytest.mark.parametrize(
+        "cdag_factory",
+        [
+            lambda: chain_cdag(12),
+            lambda: reduction_tree_cdag(16),
+            lambda: diamond_cdag(7, 5),
+            lambda: outer_product_cdag(4),
+        ],
+    )
+    def test_equivalence_on_structured_builders(self, cdag_factory):
+        cdag = cdag_factory()
+        assert dfs_schedule(cdag) == dfs_schedule(cdag, backend="dict")
+        assert min_liveset_schedule(cdag) == min_liveset_schedule(
+            cdag, backend="dict"
+        )
+
+    def test_id_variants_return_ids(self):
+        cdag = diamond_cdag(5, 3)
+        c = cdag.compiled()
+        assert c.vertices_of(dfs_schedule_ids(c)) == dfs_schedule(cdag)
+        assert c.vertices_of(min_liveset_schedule_ids(c)) == (
+            min_liveset_schedule(cdag)
+        )
+
+    def test_unknown_backend_rejected(self):
+        cdag = chain_cdag(3)
+        with pytest.raises(ValueError):
+            dfs_schedule(cdag, backend="networkx")
+        with pytest.raises(ValueError):
+            min_liveset_schedule(cdag, backend="networkx")
+
+    def test_validate_schedule_rejects_unknown_vertex(self):
+        cdag = chain_cdag(2)
+        with pytest.raises(Exception):
+            validate_schedule(
+                cdag, [("chain", 0), ("chain", 1), ("nope", 9)]
+            )
 
 
 class TestPrioritySchedule:

@@ -1,7 +1,11 @@
 """Tests for the command-line interface."""
 
+import argparse
+import re
+
 import pytest
 
+import repro.cli
 from repro.cli import build_parser, main
 
 
@@ -16,6 +20,23 @@ class TestParser:
                     "matmul", "validate", "distsim", "balance", "all"):
             args = parser.parse_args([cmd])
             assert args.command == cmd
+
+    def test_docstring_and_help_list_every_subcommand(self):
+        """The module docstring's usage block and --help stay in sync with
+        the registered subcommands (no stale or missing entries)."""
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        registered = set(sub.choices)
+        documented = set(
+            re.findall(r"python -m repro\.cli (\w+)", repro.cli.__doc__)
+        )
+        assert documented == registered
+        help_text = parser.format_help()
+        for cmd in registered:
+            assert cmd in help_text
 
     def test_argument_parsing(self):
         parser = build_parser()
