@@ -1,7 +1,8 @@
 # Convenience targets; every command also runs as written in README.md.
+# CI (.github/workflows/ci.yml) calls these same targets, one per job.
 PY := PYTHONPATH=src python
 
-.PHONY: test doctest bench bench-smoke check
+.PHONY: test doctest bench bench-smoke bench-guard lint check
 
 # Tier-1 suite (includes the doctest run over the documented public
 # surface and the ~1 s bench smoke in tests/test_docs_and_bench_smoke.py).
@@ -22,5 +23,14 @@ bench-smoke:
 # Full core benchmarks; refreshes BENCH_core.json.
 bench:
 	$(PY) -m pytest benchmarks/bench_compiled_core.py -q --benchmark-disable
+
+# CI bench-regression guard: smoke-measure into a scratch json and fail
+# on >3x regressions of the movelog/sched/strategy entries.
+bench-guard:
+	$(PY) benchmarks/check_bench.py
+
+# Lint (ruleset in pyproject.toml; the tree is clean under it).
+lint:
+	ruff check .
 
 check: test bench-smoke

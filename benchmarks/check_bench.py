@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""CI bench-regression guard.
+
+Runs the smoke-mode core benchmarks into a scratch ``BENCH_json`` (never
+touching the committed ``BENCH_core.json``), then compares the freshly
+measured ``ns_per_op`` of every guarded entry against the committed
+value and fails on more-than-``THRESHOLD``-fold regressions.
+
+Guarded prefixes: ``movelog/``, ``sched/``, ``strategy/`` — the hot-path
+numbers the compiled backend, columnar log, and batched strategy loops
+exist for.  Only keys present in both files are compared (smoke mode
+measures the smallest sizes; committed entries at other sizes are
+informational).  The threshold is deliberately loose (3x) because CI
+machines are slower and noisier than the reference container: the guard
+catches algorithmic regressions (accidental O(n) scans, dropped caches),
+not percent-level noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_bench.py
+    BENCH_GUARD_THRESHOLD=5 PYTHONPATH=src python benchmarks/check_bench.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+COMMITTED = REPO / "BENCH_core.json"
+GUARDED_PREFIXES = ("movelog/", "sched/", "strategy/")
+THRESHOLD = float(os.environ.get("BENCH_GUARD_THRESHOLD", "3.0"))
+
+
+def run_smoke(out_json: Path) -> None:
+    env = dict(os.environ)
+    env["BENCH_SMOKE"] = "1"
+    env["BENCH_JSON"] = str(out_json)
+    env["PYTHONPATH"] = (
+        str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    ).rstrip(os.pathsep)
+    cmd = [
+        sys.executable, "-m", "pytest",
+        str(REPO / "benchmarks" / "bench_compiled_core.py"),
+        "-q", "-m", "not bench", "--benchmark-disable",
+    ]
+    print("+", " ".join(cmd), flush=True)
+    subprocess.run(cmd, check=True, env=env, cwd=REPO)
+
+
+def load_results(path: Path) -> dict:
+    return json.loads(path.read_text()).get("results", {})
+
+
+def main() -> int:
+    if not COMMITTED.exists():
+        print(f"error: committed baseline {COMMITTED} is missing")
+        return 2
+    with tempfile.TemporaryDirectory(prefix="bench-guard-") as tmp:
+        fresh_json = Path(tmp) / "BENCH_fresh.json"
+        run_smoke(fresh_json)
+        if not fresh_json.exists():
+            print("error: smoke run recorded no benchmark results")
+            return 2
+        fresh = load_results(fresh_json)
+    committed = load_results(COMMITTED)
+
+    rows = []
+    failures = []
+    for name in sorted(fresh):
+        if not name.startswith(GUARDED_PREFIXES):
+            continue
+        base = committed.get(name, {}).get("ns_per_op")
+        new = fresh[name].get("ns_per_op")
+        if base is None or new is None or base <= 0:
+            continue
+        ratio = new / base
+        verdict = "ok"
+        if ratio > THRESHOLD:
+            verdict = "REGRESSION"
+            failures.append(name)
+        rows.append(
+            f"  {name:42s} {base:12.1f} -> {new:12.1f} ns/op "
+            f"({ratio:5.2f}x)  {verdict}"
+        )
+    if not rows:
+        print("error: no guarded benchmark entries overlap the baseline")
+        return 2
+
+    print(f"\nBench guard (threshold {THRESHOLD:.1f}x):")
+    print("\n".join(rows))
+    if failures:
+        print(
+            f"\n{len(failures)} guarded benchmark(s) regressed more than "
+            f"{THRESHOLD:.1f}x: {', '.join(failures)}"
+        )
+        return 1
+    print("\nAll guarded benchmarks within threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

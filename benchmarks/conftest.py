@@ -50,7 +50,13 @@ def smoke_mode() -> bool:
 
 _CONFIG = None
 _BENCH_RESULTS = {}
-_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+#: output path; ``BENCH_JSON=...`` redirects (the CI bench-regression
+#: guard measures into a scratch file and diffs it against the committed
+#: one instead of overwriting it)
+_BENCH_JSON = Path(
+    os.environ.get("BENCH_JSON", "")
+    or Path(__file__).resolve().parent.parent / "BENCH_core.json"
+)
 
 
 def pytest_configure(config):

@@ -20,9 +20,7 @@ from repro.core import chain_cdag, reduction_tree_cdag
 from repro.pebbling import (
     GameError,
     MemoryHierarchy,
-    ParallelRBWPebbleGame,
     RBWPebbleGame,
-    contiguous_block_assignment,
     parallel_spill_game,
 )
 

@@ -36,7 +36,6 @@ import numpy as np
 
 from ..bounds.analytical import (
     cg_vertical_lower_bound,
-    cg_wavefront_sizes,
     stencil_horizontal_upper_bound,
 )
 from ..core.cdag import CDAG, Vertex
@@ -57,7 +56,9 @@ __all__ = [
 # ----------------------------------------------------------------------
 # CDAG constructions
 # ----------------------------------------------------------------------
-def _stencil_neighbors(shape: Tuple[int, ...], idx: Tuple[int, ...]) -> List[Tuple[int, ...]]:
+def _stencil_neighbors(
+    shape: Tuple[int, ...], idx: Tuple[int, ...]
+) -> List[Tuple[int, ...]]:
     out = []
     for axis in range(len(shape)):
         for sign in (-1, 1):
@@ -300,7 +301,6 @@ def analyze_cg(
     re-aggregated per node as in the paper's analysis); the horizontal
     upper bound is the ghost-cell volume of the node's block.
     """
-    nd = n ** dimensions
     total_flops = cg_total_flops(n, iterations, dimensions, paper_constant=True)
     # 6 n^d T / P per processor; a node holds N_cores processors.
     lb_per_node = cg_vertical_lower_bound(

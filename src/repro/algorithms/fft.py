@@ -16,15 +16,12 @@ builder is validated against real code.
 
 from __future__ import annotations
 
-import cmath
 import math
-from typing import List, Tuple
 
 import numpy as np
 
 from ..bounds.analytical import fft_io_lower_bound
 from ..core.builders import butterfly_cdag
-from ..core.cdag import CDAG
 
 __all__ = ["butterfly_cdag", "fft_io_lower_bound", "radix2_fft", "fft_flops"]
 

@@ -21,13 +21,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from ..bounds.analytical import (
     gmres_vertical_lower_bound,
-    gmres_wavefront_sizes,
     stencil_horizontal_upper_bound,
 )
 from ..core.cdag import CDAG, Vertex
@@ -45,7 +44,9 @@ __all__ = [
 ]
 
 
-def _stencil_neighbors(shape: Tuple[int, ...], idx: Tuple[int, ...]) -> List[Tuple[int, ...]]:
+def _stencil_neighbors(
+    shape: Tuple[int, ...], idx: Tuple[int, ...]
+) -> List[Tuple[int, ...]]:
     out = []
     for axis in range(len(shape)):
         for sign in (-1, 1):
@@ -164,7 +165,9 @@ def gmres_iteration_cdag(
     return cdag
 
 
-def traced_gmres_cdag(grid: Grid, krylov_iterations: int = 2) -> Tuple[np.ndarray, CDAG]:
+def traced_gmres_cdag(
+    grid: Grid, krylov_iterations: int = 2
+) -> Tuple[np.ndarray, CDAG]:
     """Trace ``m`` Arnoldi/GMRES iterations scalar-by-scalar on ``grid``.
 
     Returns the final Krylov basis vector (numerically validated by tests

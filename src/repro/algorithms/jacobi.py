@@ -24,11 +24,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Sequence
 
 from ..bounds.analytical import (
     jacobi_io_lower_bound,
-    jacobi_largest_partition,
     stencil_horizontal_upper_bound,
 )
 from ..core.builders import grid_stencil_cdag

@@ -28,7 +28,7 @@ import numpy as np
 from ..bounds.analytical import matmul_io_lower_bound, outer_product_io
 from ..core.cdag import CDAG, Vertex
 from ..core.builders import independent_chains_cdag, outer_product_cdag
-from ..core.trace import TraceContext, TracedArray
+from ..core.trace import TraceContext
 
 __all__ = [
     "matmul_cdag",

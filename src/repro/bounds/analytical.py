@@ -45,7 +45,6 @@ Horizontal (ghost-cell) upper bounds
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 __all__ = [
     "matmul_io_lower_bound",

@@ -31,7 +31,7 @@ the bounds themselves come from :mod:`repro.bounds.hong_kung` and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.cdag import CDAG, CDAGError, Vertex
 

@@ -27,10 +27,8 @@ module provides:
 
 from __future__ import annotations
 
-import itertools
-import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Set
 
 from ..core.cdag import CDAG, Vertex
 from ..core.partition import SPartition, check_rbw_partition

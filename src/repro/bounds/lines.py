@@ -32,9 +32,8 @@ This module makes the technique executable:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import networkx as nx
 
@@ -83,7 +82,6 @@ def find_lines(cdag: CDAG, max_lines: Optional[int] = None) -> List[List[Vertex]
     if not cdag.inputs or not cdag.outputs:
         return []
     g = nx.DiGraph()
-    INF = float("inf")
     source, sink = ("__lines_src__",), ("__lines_snk__",)
 
     def v_in(v: Vertex) -> Tuple[str, Vertex]:

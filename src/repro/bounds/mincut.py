@@ -27,7 +27,7 @@ heuristic that avoids running a max-flow per vertex on large CDAGs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional
 
 from ..core.cdag import CDAG, Vertex
 from ..core.properties import max_min_wavefront, min_wavefront

@@ -24,9 +24,9 @@ numbers.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-from .cdag import CDAG, CDAGBuilder, Vertex
+from .cdag import CDAG, Vertex
 
 __all__ = [
     "chain_cdag",

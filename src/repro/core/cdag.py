@@ -36,16 +36,14 @@ algorithms.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
-    Callable,
     Dict,
     FrozenSet,
     Hashable,
     Iterable,
     Iterator,
     List,
-    Mapping,
     Optional,
     Sequence,
     Set,
@@ -556,7 +554,10 @@ class CDAG:
         vset = set(vertices)
         unknown = vset.difference(self._succ)
         if unknown:
-            raise CDAGError(f"unknown vertices in subgraph request: {sorted(map(repr, unknown))[:5]}")
+            raise CDAGError(
+                "unknown vertices in subgraph request: "
+                f"{sorted(map(repr, unknown))[:5]}"
+            )
         sub_edges = [(u, v) for u, v in self.edges() if u in vset and v in vset]
         ordered = [v for v in self._succ if v in vset]
         return CDAG(

@@ -32,7 +32,7 @@ the arrays as read-only.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional
 
 import numpy as np
 

@@ -31,18 +31,11 @@ admissible vertex-set size), which plugs into Corollary 1 and Theorems 6/7.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .cdag import CDAG, CDAGError, Vertex
-from .properties import (
-    has_circuit_between,
-    in_set,
-    is_dominator,
-    minimal_dominator_size,
-    minimum_set,
-    out_set,
-)
+from .properties import in_set, minimal_dominator_size, minimum_set, out_set
 
 __all__ = [
     "SPartition",
@@ -260,19 +253,22 @@ def partition_from_game(cdag: CDAG, moves, s: int) -> SPartition:
         import numpy as np
 
         c = cdag.compiled()
-        kinds = log.kinds()
-        io_mask = (kinds == OP_LOAD) | (kinds == OP_STORE)
-        # Number of I/O moves strictly before each move; the phase of a
-        # compute is how many times the "(S+1)-th I/O closes the phase"
-        # rule has fired before it.
-        io_before = np.cumsum(io_mask) - io_mask
-        compute_mask = kinds == OP_COMPUTE
-        phases = np.maximum(0, (io_before[compute_mask] - 1) // s)
-        fired = log.vertex_ids()[compute_mask]
         verts = c._verts
         by_phase: Dict[int, Set[Vertex]] = {}
-        for ph, vid in zip(phases.tolist(), fired.tolist()):
-            by_phase.setdefault(ph, set()).add(verts[vid])
+        # Number of I/O moves strictly before each move; the phase of a
+        # compute is how many times the "(S+1)-th I/O closes the phase"
+        # rule has fired before it.  Chunk at a time (spilled logs stay
+        # memory-flat): ``io_seen`` carries the count across chunks.
+        io_seen = 0
+        for kinds, vids, _, _ in log.iter_chunks():
+            io_mask = (kinds == OP_LOAD) | (kinds == OP_STORE)
+            io_before = io_seen + np.cumsum(io_mask) - io_mask
+            compute_mask = kinds == OP_COMPUTE
+            phases = np.maximum(0, (io_before[compute_mask] - 1) // s)
+            fired = vids[compute_mask]
+            for ph, vid in zip(phases.tolist(), fired.tolist()):
+                by_phase.setdefault(ph, set()).add(verts[vid])
+            io_seen += int(io_mask.sum())
         return SPartition(
             subsets=[by_phase[ph] for ph in sorted(by_phase)], s=2 * s
         )

@@ -29,7 +29,7 @@ to edge min-cut / max-flow, using :mod:`networkx` maximum-flow.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 import numpy as np
@@ -284,7 +284,9 @@ def convex_cut_for_vertex(
     return s_side, t_side
 
 
-def is_convex_cut(cdag: CDAG, s_side: Iterable[Vertex], t_side: Iterable[Vertex]) -> bool:
+def is_convex_cut(
+    cdag: CDAG, s_side: Iterable[Vertex], t_side: Iterable[Vertex]
+) -> bool:
     """Check the convexity condition: no edge from ``T`` to ``S``."""
     s, t = set(s_side), set(t_side)
     for u, v in cdag.edges():

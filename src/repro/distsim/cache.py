@@ -23,8 +23,8 @@ parameter allows coarser lines for sensitivity studies.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence
 
 __all__ = ["CacheStats", "CacheSimulator", "simulate_trace"]
 

@@ -24,9 +24,9 @@ tightness argument is available separately via
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from .cache import CacheSimulator, CacheStats
+from .cache import CacheSimulator
 from .partitioning import BlockPartition, node_grid
 
 __all__ = ["ClusterTrafficReport", "SimulatedCluster"]

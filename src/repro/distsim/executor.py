@@ -130,8 +130,11 @@ class DistributedExecutor:
         :class:`~repro.pebbling.state.MoveLog`) produced against ``cdag``,
         e.g. by :func:`repro.pebbling.strategies.spill_game_rbw`.  The
         fired-operation schedule is extracted from the COMPUTE rows of the
-        log's opcode column in one vectorized filter and replayed through
-        the per-node caches — no ``Move`` objects are materialized.
+        log's opcode column in one vectorized per-chunk filter and replayed
+        through the per-node caches — no ``Move`` objects are materialized,
+        and a disk-spilled log (``MoveLog(spill=...)``) is paged in one
+        block at a time, so even 10^8-move records replay with flat
+        resident memory.
 
         The game must fire every operation exactly once (RBW/P-RBW games
         always do; red-blue games only if the strategy never recomputes).

@@ -14,9 +14,8 @@ every sweep.  This module provides the partition geometry:
 from __future__ import annotations
 
 import itertools
-import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 __all__ = ["node_grid", "BlockPartition"]
 
@@ -135,7 +134,7 @@ class BlockPartition:
         hi = [min(self.shape[k], bounds[k][1] + radius) for k in range(self.ndim)]
         inner = set(self.block_points(node))
         out: List[Tuple[int, ...]] = []
-        for p in itertools.product(*[range(l, h) for l, h in zip(lo, hi)]):
+        for p in itertools.product(*[range(lo_k, hi_k) for lo_k, hi_k in zip(lo, hi)]):
             if p not in inner:
                 out.append(p)
         return out

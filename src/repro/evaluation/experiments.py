@@ -23,16 +23,12 @@ Experiments
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..algorithms.cg import analyze_cg, cg_iteration_cdag
-from ..algorithms.composite import (
-    composite_cdag,
-    naive_step_sum,
-    recompute_friendly_game,
-)
+from ..algorithms.composite import naive_step_sum, recompute_friendly_game
 from ..algorithms.gmres import analyze_gmres
 from ..algorithms.jacobi import analyze_jacobi, bandwidth_bound_dimension_threshold
 from ..algorithms.linalg import matmul_cdag
@@ -56,12 +52,10 @@ from ..core.builders import (
 )
 from ..core.cdag import CDAG
 from ..distsim.cluster import SimulatedCluster
-from ..machine.catalog import CRAY_XT5, IBM_BGQ, PAPER_MACHINES
+from ..machine.catalog import IBM_BGQ, PAPER_MACHINES
 from ..machine.spec import MachineSpec
 from ..pebbling.optimal import optimal_rbw_io
 from ..pebbling.strategies import spill_game_rbw
-from ..solvers.cg_solver import cg_total_flops
-from ..solvers.gmres_solver import gmres_flops
 
 __all__ = [
     "experiment_table1_machines",

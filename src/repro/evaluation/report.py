@@ -8,7 +8,7 @@ benches and examples stay free of formatting noise.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
 __all__ = ["format_table", "format_value", "render_report"]
 

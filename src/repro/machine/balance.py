@@ -71,7 +71,9 @@ class BalanceVerdict:
     def ratio(self) -> float:
         """algorithm_side / machine_side — how far from balance (>1 means
         the requirement exceeds what the machine provides)."""
-        return self.algorithm_side / self.machine_side if self.machine_side else float("inf")
+        if not self.machine_side:
+            return float("inf")
+        return self.algorithm_side / self.machine_side
 
 
 def algorithm_vertical_intensity(

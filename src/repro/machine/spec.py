@@ -20,7 +20,7 @@ the paper used.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 __all__ = ["MachineSpec", "WORD_BYTES"]

@@ -20,8 +20,8 @@ benchmarks (a single multi-core node and a multi-node cluster).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 __all__ = ["LevelSpec", "MemoryHierarchy"]
 
@@ -203,7 +203,8 @@ class MemoryHierarchy:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(
-            f"L{l+1}: {spec.count}x{spec.capacity if spec.capacity is not None else 'inf'}"
-            for l, spec in enumerate(self.levels)
+            f"L{lvl + 1}: {spec.count}x"
+            f"{spec.capacity if spec.capacity is not None else 'inf'}"
+            for lvl, spec in enumerate(self.levels)
         )
         return f"MemoryHierarchy({parts})"

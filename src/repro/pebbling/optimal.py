@@ -35,7 +35,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Tuple
 
 from ..core.cdag import CDAG, Vertex
 from .state import GameError
@@ -124,7 +124,8 @@ def optimal_rbw_io(
                     # output not yet blue (outputs in blue already satisfy
                     # the goal, so that case never triggers).
                     if any(s not in white for s in succs[v]):
-                        yield 1, (red | {v}, blue, white | {v} if v not in white else white)
+                        new_white = white | {v} if v not in white else white
+                        yield 1, (red | {v}, blue, new_white)
         # R2 store (cost 1)
         for v in red:
             if v not in blue:

@@ -109,7 +109,11 @@ class _PebbleMapView:
         self._c = compiled
 
     def __getitem__(self, v: Vertex) -> Set[Instance]:
-        return self._pebbles[self._c._index[v]]
+        i = self._c._index[v]  # unknown vertex -> KeyError
+        got = self._pebbles.get(i)
+        # Empty shade sets are pruned from the id map (GC pressure at
+        # 10^7-move scale); a known vertex without pebbles is empty here.
+        return got if got is not None else set()
 
     def get(self, v: Vertex, default=None):
         i = self._c._index.get(v)
@@ -163,12 +167,42 @@ class _OccupancyMapView:
 class ParallelRBWPebbleGame(CompiledEngineMixin):
     """Stateful engine for the parallel RBW pebble game."""
 
-    def __init__(self, cdag: CDAG, hierarchy: MemoryHierarchy) -> None:
+    def __init__(
+        self,
+        cdag: CDAG,
+        hierarchy: MemoryHierarchy,
+        spill=False,
+        log_block_size: int = 65536,
+    ) -> None:
         cdag.validate()
         self.cdag = cdag
         self.hierarchy = hierarchy
+        #: spill the move log to disk (see :class:`MoveLog`'s ``spill``)
+        self.log_spill = spill
+        self.log_block_size = log_block_size
         self._bind()
         self.reset()
+
+    def _bind_extra(self) -> None:
+        # Immutable hierarchy shape tables: the rule methods fire once per
+        # move at 10^7-move scale, so no per-move method calls on the
+        # MemoryHierarchy (same checks, same error messages).
+        h = self.hierarchy
+        self._L = h.num_levels
+        self._num_procs = h.num_processors
+        levels = range(1, self._L + 1)
+        self._inst_counts = [h.instances(lvl) for lvl in levels]
+        self._inst_caps = [h.capacity(lvl) for lvl in levels]
+        self._parent_of = {
+            (level, index): h.parent_instance(level, index)
+            for level in range(1, self._L)
+            for index in range(h.instances(level))
+        }
+        self._children_of = {
+            (level, index): h.child_instances(level, index)
+            for level in range(2, self._L + 1)
+            for index in range(h.instances(level))
+        }
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -215,22 +249,30 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
 
     def _place(self, i: int, inst: Instance) -> None:
         level, index = inst
-        self.hierarchy._check_level(level)
-        if not 0 <= index < self.hierarchy.instances(level):
+        if not 1 <= level <= self._L:
+            self.hierarchy._check_level(level)  # raises with the level range
+        if not 0 <= index < self._inst_counts[level - 1]:
             raise GameError(f"no instance {index} at level {level}")
-        if inst in self.shades_ids(i):
+        shades = self.pebbles_ids.get(i)
+        if shades is not None and inst in shades:
             raise GameError(
                 f"vertex {self._c.vertex(i)!r} already holds a pebble of "
                 f"shade {inst}"
             )
-        cap = self.hierarchy.capacity(level)
-        used = self.occupancy_ids.setdefault(inst, set())
+        cap = self._inst_caps[level - 1]
+        occ = self.occupancy_ids
+        used = occ.get(inst)
+        if used is None:
+            used = occ[inst] = set()
         if cap is not None and len(used) >= cap:
             raise GameError(
                 f"storage {inst} is full (capacity {cap}); delete first"
             )
         used.add(i)
-        self.pebbles_ids.setdefault(i, set()).add(inst)
+        if shades is None:
+            self.pebbles_ids[i] = {inst}
+        else:
+            shades.add(inst)
 
     # ------------------------------------------------------------------
     # Moves
@@ -245,14 +287,13 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
             raise GameError(
                 f"R1 violated: {self._c.vertex(i)!r} has no blue pebble"
             )
-        L = self.hierarchy.num_levels
+        L = self._L
         inst = (L, node)
         self._place(i, inst)
         self.white_ids.add(i)
         self._log_append(OP_LOAD, i, (L << _INST_SHIFT) | node)
-        self.record.horizontal_io[node] = (
-            self.record.horizontal_io.get(node, 0) + 1
-        )
+        horizontal = self.record.horizontal_io
+        horizontal[node] = horizontal.get(node, 0) + 1
 
     def store(self, v: Vertex, node: int) -> None:
         """R2: place a blue pebble on a vertex holding node ``node``'s
@@ -261,9 +302,9 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
 
     def store_id(self, i: int, node: int) -> None:
         """R2 in id space."""
-        L = self.hierarchy.num_levels
+        L = self._L
         inst = (L, node)
-        if inst not in self.shades_ids(i):
+        if inst not in (self.pebbles_ids.get(i) or _EMPTY):
             raise GameError(
                 f"R2 violated: {self._c.vertex(i)!r} does not hold the "
                 f"level-{L} pebble of node {node}"
@@ -279,10 +320,10 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
         """R3 in id space."""
         if dst_node == src_node:
             raise GameError("R3 violated: source and destination coincide")
-        L = self.hierarchy.num_levels
+        L = self._L
         src = (L, src_node)
         dst = (L, dst_node)
-        if src not in self.shades_ids(i):
+        if src not in (self.pebbles_ids.get(i) or _EMPTY):
             raise GameError(
                 f"R3 violated: {self._c.vertex(i)!r} does not hold the "
                 f"level-{L} pebble of node {src_node}"
@@ -294,9 +335,8 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
             (L << _INST_SHIFT) | dst_node,
             (L << _INST_SHIFT) | src_node,
         )
-        self.record.horizontal_io[dst_node] = (
-            self.record.horizontal_io.get(dst_node, 0) + 1
-        )
+        horizontal = self.record.horizontal_io
+        horizontal[dst_node] = horizontal.get(dst_node, 0) + 1
 
     def move_up(self, v: Vertex, level: int, index: int) -> None:
         """R4: copy from the parent instance into child ``(level, index)``.
@@ -308,16 +348,19 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
 
     def move_up_id(self, i: int, level: int, index: int) -> None:
         """R4 in id space."""
-        L = self.hierarchy.num_levels
+        L = self._L
         if not 1 <= level < L:
             raise GameError(f"R4 violated: level must be in 1..{L-1}")
-        parent = self.hierarchy.parent_instance(level, index)
-        if parent not in self.shades_ids(i):
+        inst = (level, index)
+        parent = self._parent_of.get(inst)
+        if parent is None:
+            parent = self.hierarchy.parent_instance(level, index)
+        if parent not in (self.pebbles_ids.get(i) or _EMPTY):
             raise GameError(
                 f"R4 violated: {self._c.vertex(i)!r} does not hold the pebble "
                 f"of parent {parent} of ({level}, {index})"
             )
-        self._place(i, (level, index))
+        self._place(i, inst)
         self._log_append(
             OP_MOVE_UP,
             i,
@@ -325,9 +368,8 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
             (parent[0] << _INST_SHIFT) | parent[1],
         )
         # Traffic crosses the link between `parent` and its children.
-        self.record.vertical_io[parent] = (
-            self.record.vertical_io.get(parent, 0) + 1
-        )
+        vertical = self.record.vertical_io
+        vertical[parent] = vertical.get(parent, 0) + 1
 
     def move_down(self, v: Vertex, level: int, index: int) -> None:
         """R5: copy from a child instance into its parent ``(level, index)``.
@@ -339,13 +381,19 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
 
     def move_down_id(self, i: int, level: int, index: int) -> None:
         """R5 in id space."""
-        L = self.hierarchy.num_levels
+        L = self._L
         if not 1 < level <= L:
             raise GameError(f"R5 violated: level must be in 2..{L}")
-        children = self.hierarchy.child_instances(level, index)
-        shades = self.shades_ids(i)
-        holders = [c for c in children if c in shades]
-        if not holders:
+        children = self._children_of.get((level, index))
+        if children is None:
+            children = self.hierarchy.child_instances(level, index)
+        shades = self.pebbles_ids.get(i) or _EMPTY
+        src = None
+        for child in children:
+            if child in shades:
+                src = child
+                break
+        if src is None:
             raise GameError(
                 f"R5 violated: {self._c.vertex(i)!r} holds no pebble of a "
                 f"child of ({level}, {index})"
@@ -355,11 +403,10 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
             OP_MOVE_DOWN,
             i,
             (level << _INST_SHIFT) | index,
-            (holders[0][0] << _INST_SHIFT) | holders[0][1],
+            (src[0] << _INST_SHIFT) | src[1],
         )
-        self.record.vertical_io[(level, index)] = (
-            self.record.vertical_io.get((level, index), 0) + 1
-        )
+        vertical = self.record.vertical_io
+        vertical[(level, index)] = vertical.get((level, index), 0) + 1
 
     def compute(self, v: Vertex, processor: int) -> None:
         """R6: fire ``v`` on ``processor``; predecessors must hold that
@@ -378,24 +425,29 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
                 f"R6 violated: input vertex {self._c.vertex(i)!r} must be "
                 "loaded, not computed"
             )
-        if not 0 <= processor < self.hierarchy.num_processors:
+        if not 0 <= processor < self._num_procs:
             raise GameError(f"unknown processor {processor}")
         reg = (1, processor)
-        missing = [
-            p for p in self._pred_lists[i] if reg not in self.shades_ids(p)
-        ]
-        if missing:
-            names = [self._c.vertex(p) for p in missing]
-            raise GameError(
-                f"R6 violated: predecessors of {self._c.vertex(i)!r} without "
-                f"level-1 pebbles of processor {processor}: {names[:3]}"
-            )
+        pebbles_get = self.pebbles_ids.get
+        preds = self._pred_lists[i]
+        for p in preds:
+            shades = pebbles_get(p)
+            if shades is None or reg not in shades:
+                names = [
+                    self._c.vertex(q)
+                    for q in preds
+                    if reg not in self.shades_ids(q)
+                ]
+                raise GameError(
+                    f"R6 violated: predecessors of {self._c.vertex(i)!r} "
+                    f"without level-1 pebbles of processor {processor}: "
+                    f"{names[:3]}"
+                )
         self._place(i, reg)
         self.white_ids.add(i)
         self._log_append(OP_COMPUTE, i, (1 << _INST_SHIFT) | processor)
-        self.record.compute_per_processor[processor] = (
-            self.record.compute_per_processor.get(processor, 0) + 1
-        )
+        computes = self.record.compute_per_processor
+        computes[processor] = computes.get(processor, 0) + 1
 
     def delete(self, v: Vertex, level: int, index: int) -> None:
         """R7: remove the ``(level, index)`` pebble from ``v``."""
@@ -411,8 +463,32 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
                 f"shade {inst}"
             )
         got.remove(inst)
+        if not got:
+            # Prune the empty set: keeps the number of GC-tracked
+            # containers proportional to *live* values, not fired ones
+            # (gen-2 collections otherwise dominate 10^7-move games).
+            del self.pebbles_ids[i]
         self.occupancy_ids[inst].discard(i)
         self._log_append(OP_DELETE, i, (level << _INST_SHIFT) | index)
+
+    def delete_all_id(self, i: int) -> None:
+        """R7 applied to every shade of ``i`` at once (id space).
+
+        Semantically identical to calling :meth:`delete_id` for each
+        shade the vertex currently holds (one DELETE row is logged per
+        shade, in the same set order) — one call instead of one per copy
+        when a strategy retires a dead value from the whole hierarchy.
+        No-op when the vertex holds no pebbles.
+        """
+        got = self.pebbles_ids.get(i)
+        if not got:
+            return
+        occupancy = self.occupancy_ids
+        append = self._log_append
+        for inst in got:
+            occupancy[inst].discard(i)
+            append(OP_DELETE, i, (inst[0] << _INST_SHIFT) | inst[1])
+        del self.pebbles_ids[i]
 
     # ------------------------------------------------------------------
     # Completion
@@ -463,27 +539,29 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
         self.reset()
         log = moves.log if isinstance(moves, GameRecord) else moves
         if isinstance(log, MoveLog) and log.is_bound_to(self._c):
-            kinds, vids, locs, srcs = log.columns()
-            for code, vid, loc, src in zip(
-                kinds.tolist(), vids.tolist(), locs.tolist(), srcs.tolist()
-            ):
-                level, index = loc >> _INST_SHIFT, loc & _INST_MASK
-                if code == OP_COMPUTE:
-                    self.compute_id(vid, index)
-                elif code == OP_MOVE_UP:
-                    self.move_up_id(vid, level, index)
-                elif code == OP_MOVE_DOWN:
-                    self.move_down_id(vid, level, index)
-                elif code == OP_DELETE:
-                    self.delete_id(vid, level, index)
-                elif code == OP_LOAD:
-                    self.load_id(vid, index)
-                elif code == OP_STORE:
-                    self.store_id(vid, index)
-                elif code == OP_REMOTE_GET:
-                    self.remote_get_id(vid, index, src & _INST_MASK)
-                else:  # pragma: no cover - unreachable with engine logs
-                    raise GameError(f"unknown move opcode {code}")
+            # One block at a time: spilled logs page in via memmap chunks.
+            for kinds, vids, locs, srcs in log.iter_chunks():
+                for code, vid, loc, src in zip(
+                    kinds.tolist(), vids.tolist(),
+                    locs.tolist(), srcs.tolist(),
+                ):
+                    level, index = loc >> _INST_SHIFT, loc & _INST_MASK
+                    if code == OP_COMPUTE:
+                        self.compute_id(vid, index)
+                    elif code == OP_MOVE_UP:
+                        self.move_up_id(vid, level, index)
+                    elif code == OP_MOVE_DOWN:
+                        self.move_down_id(vid, level, index)
+                    elif code == OP_DELETE:
+                        self.delete_id(vid, level, index)
+                    elif code == OP_LOAD:
+                        self.load_id(vid, index)
+                    elif code == OP_STORE:
+                        self.store_id(vid, index)
+                    elif code == OP_REMOTE_GET:
+                        self.remote_get_id(vid, index, src & _INST_MASK)
+                    else:  # pragma: no cover - unreachable with engine logs
+                        raise GameError(f"unknown move opcode {code}")
         else:
             for move in log:
                 kind = move.kind

@@ -58,12 +58,21 @@ class RBWPebbleGame(CompiledEngineMixin):
         The number of red pebbles ``S``.
     """
 
-    def __init__(self, cdag: CDAG, num_red: int) -> None:
+    def __init__(
+        self,
+        cdag: CDAG,
+        num_red: int,
+        spill=False,
+        log_block_size: int = 65536,
+    ) -> None:
         if num_red < 1:
             raise ValueError("the game needs at least one red pebble")
         cdag.validate()
         self.cdag = cdag
         self.num_red = num_red
+        #: spill the move log to disk (see :class:`MoveLog`'s ``spill``)
+        self.log_spill = spill
+        self.log_block_size = log_block_size
         self._bind()
         self.reset()
 
@@ -243,14 +252,14 @@ class RBWPebbleGame(CompiledEngineMixin):
             handlers = (
                 self.load_id, self.store_id, self.compute_id, self.delete_id,
             )
-            for code, vid in zip(
-                log.kinds().tolist(), log.vertex_ids().tolist()
-            ):
-                if code >= len(handlers):
-                    raise GameError(
-                        f"move opcode {code} is not part of the RBW game"
-                    )
-                handlers[code](vid)
+            # One block at a time: spilled logs page in via memmap chunks.
+            for kinds, vids, _, _ in log.iter_chunks():
+                for code, vid in zip(kinds.tolist(), vids.tolist()):
+                    if code >= len(handlers):
+                        raise GameError(
+                            f"move opcode {code} is not part of the RBW game"
+                        )
+                    handlers[code](vid)
         else:
             dispatch = {
                 MoveKind.LOAD: self.load,

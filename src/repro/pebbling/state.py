@@ -50,8 +50,8 @@ Usage example (doctest)::
     (2, 2, 2)
     >>> [m.kind.name for m in record.moves]
     ['LOAD', 'COMPUTE', 'DELETE', 'COMPUTE', 'STORE']
-    >>> record.moves[1]
-    Move(kind=<MoveKind.COMPUTE: 'compute'>, vertex=('chain', 1), location=None, source=None)
+    >>> record.moves[1].kind, record.moves[1].vertex
+    (<MoveKind.COMPUTE: 'compute'>, ('chain', 1))
     >>> record.log.kinds().tolist()  # the raw opcode column
     [0, 2, 3, 2, 1]
     >>> int(record.log.steps[-1])   # step/timestamp == row index
@@ -61,6 +61,9 @@ Usage example (doctest)::
 from __future__ import annotations
 
 import enum
+import os
+import shutil
+import tempfile
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
@@ -158,8 +161,18 @@ class CompiledEngineMixin:
 
     def _new_record(self) -> "GameRecord":
         """A fresh :class:`GameRecord` whose log is bound to the compiled
-        CDAG; also caches the hot bound-method ``self._log_append``."""
-        record = GameRecord(log=MoveLog(compiled=self._c))
+        CDAG; also caches the hot bound-method ``self._log_append``.
+
+        Engines that set ``self.log_spill`` (any value accepted by
+        :class:`MoveLog`'s ``spill`` parameter) record into a disk-backed
+        log, keeping resident memory flat at 10^8-move scale."""
+        record = GameRecord(
+            log=MoveLog(
+                compiled=self._c,
+                block_size=getattr(self, "log_block_size", 65536),
+                spill=getattr(self, "log_spill", False),
+            )
+        )
         self._log_append = record.log.append_ids
         return record
 
@@ -255,6 +268,94 @@ class Move:
         return self.kind in (MoveKind.LOAD, MoveKind.STORE)
 
 
+class _SpillStore:
+    """Append-only on-disk block store for one :class:`MoveLog`.
+
+    Each flushed block is appended to four per-column binary files inside
+    a private temporary directory; reads go through ``numpy.memmap``, so
+    paging a chunk back costs OS page-ins, not Python-heap allocations.
+    The store owns its directory and removes it on :meth:`close` (the
+    spill is scratch backing storage for a live log, not an archive).
+    """
+
+    #: column name -> dtype, in the block tuple order of ``MoveLog._flush``
+    _SPEC = (
+        ("kinds", np.int8),
+        ("vids", np.int32),
+        ("locs", np.int32),
+        ("srcs", np.int32),
+    )
+
+    __slots__ = ("directory", "paths", "rows", "_files", "_block_rows")
+
+    def __init__(self, base) -> None:
+        if base is True:
+            base = None
+        elif base is not None:
+            base = os.fspath(base)
+            os.makedirs(base, exist_ok=True)
+        self.directory = tempfile.mkdtemp(prefix="movelog-", dir=base)
+        self.paths = {
+            name: os.path.join(self.directory, name + ".bin")
+            for name, _ in self._SPEC
+        }
+        self._files = {
+            name: open(path, "wb") for name, path in self.paths.items()
+        }
+        self.rows = 0
+        self._block_rows: List[int] = []
+
+    def append_block(self, kinds, vids, locs, srcs) -> None:
+        n = len(kinds)
+        if locs is None:
+            locs = srcs = np.full(n, _NO_INST, dtype=np.int32)
+        for (name, dtype), arr in zip(
+            self._SPEC, (kinds, vids, locs, srcs)
+        ):
+            np.ascontiguousarray(arr, dtype=dtype).tofile(self._files[name])
+        self._block_rows.append(n)
+        self.rows += n
+
+    def iter_blocks(self) -> Iterator[tuple]:
+        """Yield the stored blocks as read-only memmap column views."""
+        if not self.rows:
+            return
+        maps = []
+        for name, dtype in self._SPEC:
+            self._files[name].flush()
+            maps.append(
+                np.memmap(
+                    self.paths[name], dtype=dtype, mode="r",
+                    shape=(self.rows,),
+                )
+            )
+        start = 0
+        for n in self._block_rows:
+            yield tuple(m[start:start + n] for m in maps)
+            start += n
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently on disk across the four column files."""
+        for f in self._files.values():
+            f.flush()
+        return sum(
+            os.path.getsize(p) for p in self.paths.values()
+            if os.path.exists(p)
+        )
+
+    def close(self) -> None:
+        for f in self._files.values():
+            try:
+                f.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        self.close()
+
+
 class MoveLog:
     """Columnar log of pebble-game moves: parallel numpy-backed columns.
 
@@ -277,16 +378,38 @@ class MoveLog:
     The log is a lazy sequence of :class:`Move` objects: ``len``,
     iteration, indexing and slicing all work, materializing moves on
     demand only.
+
+    Spilling
+    --------
+    With ``spill`` set (``True`` for a fresh system temp directory, or a
+    directory path to spill under), every flushed block is appended to
+    on-disk column files instead of being kept as in-RAM numpy arrays:
+    resident memory stays bounded by one ``block_size`` staging block no
+    matter how long the game runs (a 10^8-move P-RBW log is ~1.3 GB of
+    column files but a few hundred KB of RAM).  Chunk-aware consumers —
+    the engines' ``replay``, ``partition_from_game``,
+    ``DistributedExecutor.run_record``, :meth:`counts`,
+    :meth:`ids_of_kind`, iteration — page the blocks back through
+    :meth:`iter_chunks` (``numpy.memmap`` views) and never materialize
+    the full columns; :meth:`columns` still works but concatenates
+    everything into RAM, so avoid it on spilled logs.  The spill files
+    are scratch storage owned by the log, removed on :meth:`close` or
+    garbage collection.
     """
 
     __slots__ = (
         "_compiled",
         "block_size",
         "_blocks",
+        "_spill",
         "_kinds",
         "_vids",
         "_locs",
         "_srcs",
+        "_kapp",
+        "_vapp",
+        "_lapp",
+        "_sapp",
         "_len",
         "_extra_verts",
         "_extra_index",
@@ -297,19 +420,31 @@ class MoveLog:
         "_steps",
     )
 
-    def __init__(self, compiled=None, block_size: int = 65536) -> None:
+    def __init__(
+        self, compiled=None, block_size: int = 65536, spill=False
+    ) -> None:
         if block_size < 1:
             raise ValueError("block_size must be >= 1")
         self._compiled = compiled
         self.block_size = block_size
         #: flushed blocks: (kinds int8, vids int32, locs int32|None, srcs ...)
         self._blocks: List[tuple] = []
+        #: on-disk block store (``None`` = keep flushed blocks in RAM)
+        self._spill: Optional[_SpillStore] = (
+            _SpillStore(spill) if spill else None
+        )
         self._kinds: List[int] = []
         self._vids: List[int] = []
         #: staged location/source columns; ``None`` until a located move
         #: arrives (sequential games never pay for them)
         self._locs: Optional[List[int]] = None
         self._srcs: Optional[List[int]] = None
+        # Bound staging ``list.append`` methods: one attribute hop on the
+        # per-move hot path instead of two plus a method bind.
+        self._kapp = self._kinds.append
+        self._vapp = self._vids.append
+        self._lapp = None
+        self._sapp = None
         self._len = 0
         self._extra_verts: List[Vertex] = []
         self._extra_index: Dict[Vertex, int] = {}
@@ -332,16 +467,18 @@ class MoveLog:
         :func:`encode_instance` (default: none).  This is the single hot
         call the engines make per transition.
         """
-        self._kinds.append(code)
-        self._vids.append(vid)
-        locs = self._locs
-        if locs is not None:
-            locs.append(loc)
-            self._srcs.append(src)
+        self._kapp(code)
+        self._vapp(vid)
+        lapp = self._lapp
+        if lapp is not None:
+            lapp(loc)
+            self._sapp(src)
         elif loc != _NO_INST or src != _NO_INST:
             pad = len(self._kinds) - 1
             self._locs = [_NO_INST] * pad + [loc]
             self._srcs = [_NO_INST] * pad + [src]
+            self._lapp = self._locs.append
+            self._sapp = self._srcs.append
         self._len += 1
         if len(self._kinds) >= self.block_size:
             self._flush()
@@ -356,7 +493,7 @@ class MoveLog:
         )
 
     def _flush(self) -> None:
-        """Move the staging lists into an immutable numpy block."""
+        """Move the staging lists into an immutable block (RAM or disk)."""
         if not self._kinds:
             return
         kinds = np.asarray(self._kinds, dtype=np.int8)
@@ -366,11 +503,90 @@ class MoveLog:
             srcs = np.asarray(self._srcs, dtype=np.int32)
             self._locs = []
             self._srcs = []
+            self._lapp = self._locs.append
+            self._sapp = self._srcs.append
         else:
             locs = srcs = None
-        self._blocks.append((kinds, vids, locs, srcs))
+        if self._spill is not None:
+            self._spill.append_block(kinds, vids, locs, srcs)
+        else:
+            self._blocks.append((kinds, vids, locs, srcs))
         self._kinds = []
         self._vids = []
+        self._kapp = self._kinds.append
+        self._vapp = self._vids.append
+
+    def extend_block(self, kinds, vids, locs=None, srcs=None) -> None:
+        """Bulk-append one pre-built block of column values.
+
+        ``kinds``/``vids`` are arrays of ``OP_*`` opcodes and vertex ids
+        (``locs``/``srcs`` optional packed instances).  The staged tail is
+        flushed first so row order is preserved; the block itself goes
+        straight to the block store without per-row Python work — this is
+        the fast path for synthetic workload generation and log transcoding
+        (~ns/move instead of the ~100 ns/move of :meth:`append_ids`).
+        """
+        n = len(kinds)
+        if n == 0:
+            return
+        if len(vids) != n or (locs is not None and len(locs) != n) or (
+            srcs is not None and len(srcs) != n
+        ):
+            raise ValueError("extend_block columns must have equal length")
+        if (locs is None) != (srcs is None):
+            raise ValueError("locs and srcs must be given together")
+        self._flush()
+        kinds = np.ascontiguousarray(kinds, dtype=np.int8)
+        vids = np.ascontiguousarray(vids, dtype=np.int32)
+        if locs is not None:
+            locs = np.ascontiguousarray(locs, dtype=np.int32)
+            srcs = np.ascontiguousarray(srcs, dtype=np.int32)
+            if self._locs is None:
+                # Earlier rows were all unlocated; keep staging consistent.
+                self._locs = []
+                self._srcs = []
+                self._lapp = self._locs.append
+                self._sapp = self._srcs.append
+        if self._spill is not None:
+            self._spill.append_block(kinds, vids, locs, srcs)
+        else:
+            self._blocks.append((kinds, vids, locs, srcs))
+        self._len += n
+
+    # ------------------------------------------------------------------
+    # Spill management
+    # ------------------------------------------------------------------
+    @property
+    def is_spilled(self) -> bool:
+        """True when flushed blocks live on disk instead of in RAM."""
+        return self._spill is not None
+
+    @property
+    def spilled_bytes(self) -> int:
+        """Bytes of column data currently on disk (0 for in-RAM logs)."""
+        return self._spill.nbytes if self._spill is not None else 0
+
+    def close(self) -> None:
+        """Release the on-disk spill files (no-op for in-RAM logs).
+
+        After closing, the spilled rows are gone — only use once the log
+        is no longer needed.  Garbage collection closes automatically.
+        """
+        if self._spill is not None:
+            self._spill.close()
+            self._spill = None
+            self._blocks = []
+            self._kinds = []
+            self._vids = []
+            self._locs = None
+            self._srcs = None
+            self._kapp = self._kinds.append
+            self._vapp = self._vids.append
+            self._lapp = None
+            self._sapp = None
+            self._len = 0
+            self._cols = None
+            self._cols_len = -1
 
     # ------------------------------------------------------------------
     # Vertex encoding
@@ -401,40 +617,55 @@ class MoveLog:
     # ------------------------------------------------------------------
     # Columns
     # ------------------------------------------------------------------
-    def columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """The four parallel columns ``(kinds, vertex_ids, locations,
-        sources)`` as numpy arrays (concatenated blocks + staging; cached
-        until the next append).  Treat them as read-only."""
-        if self._cols_len == self._len:
-            return self._cols
-        parts_k: List[np.ndarray] = []
-        parts_v: List[np.ndarray] = []
-        parts_l: List[np.ndarray] = []
-        parts_s: List[np.ndarray] = []
+    def iter_chunks(
+        self,
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield ``(kinds, vertex_ids, locations, sources)`` column chunks
+        in move order, one flushed block at a time plus the staged tail.
+
+        This is the memory-flat access path: chunks of a spilled log are
+        ``numpy.memmap`` views paged in from disk on demand, chunks of an
+        in-RAM log are the existing block arrays — either way at most one
+        block is materialized at a time.  Treat the arrays as read-only.
+        """
+        if self._spill is not None:
+            yield from self._spill.iter_blocks()
         for kinds, vids, locs, srcs in self._blocks:
-            parts_k.append(kinds)
-            parts_v.append(vids)
             if locs is None:
                 locs = np.full(len(kinds), _NO_INST, dtype=np.int32)
                 srcs = locs
-            parts_l.append(locs)
-            parts_s.append(srcs)
+            yield kinds, vids, locs, srcs
         if self._kinds:
-            parts_k.append(np.asarray(self._kinds, dtype=np.int8))
-            parts_v.append(np.asarray(self._vids, dtype=np.int32))
+            kinds = np.asarray(self._kinds, dtype=np.int8)
+            vids = np.asarray(self._vids, dtype=np.int32)
             if self._locs is not None:
-                parts_l.append(np.asarray(self._locs, dtype=np.int32))
-                parts_s.append(np.asarray(self._srcs, dtype=np.int32))
+                locs = np.asarray(self._locs, dtype=np.int32)
+                srcs = np.asarray(self._srcs, dtype=np.int32)
             else:
-                pad = np.full(len(self._kinds), _NO_INST, dtype=np.int32)
-                parts_l.append(pad)
-                parts_s.append(pad)
-        if parts_k:
+                locs = np.full(len(kinds), _NO_INST, dtype=np.int32)
+                srcs = locs
+            yield kinds, vids, locs, srcs
+
+    def columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The four parallel columns ``(kinds, vertex_ids, locations,
+        sources)`` as numpy arrays (concatenated blocks + staging; cached
+        until the next append).  Treat them as read-only.
+
+        On a spilled log this concatenates every on-disk block into RAM
+        and skips the cache — prefer :meth:`iter_chunks` there.
+        """
+        if self._cols_len == self._len:
+            return self._cols
+        parts = [[], [], [], []]
+        for chunk in self.iter_chunks():
+            for acc, col in zip(parts, chunk):
+                acc.append(col)
+        if parts[0]:
             cols = (
-                np.concatenate(parts_k),
-                np.concatenate(parts_v),
-                np.concatenate(parts_l),
-                np.concatenate(parts_s),
+                np.concatenate(parts[0]),
+                np.concatenate(parts[1]),
+                np.concatenate(parts[2]),
+                np.concatenate(parts[3]),
             )
         else:
             cols = (
@@ -443,8 +674,9 @@ class MoveLog:
                 np.empty(0, dtype=np.int32),
                 np.empty(0, dtype=np.int32),
             )
-        self._cols = cols
-        self._cols_len = self._len
+        if self._spill is None:
+            self._cols = cols
+            self._cols_len = self._len
         return cols
 
     def kinds(self) -> np.ndarray:
@@ -474,10 +706,13 @@ class MoveLog:
 
     def counts(self) -> Dict[MoveKind, int]:
         """Per-kind move counts, computed vectorized from the opcode
-        column (cached until the next append).  Only kinds that occur are
-        present, matching the seed's incrementally-built dict."""
+        column (cached until the next append; chunk-at-a-time, so spilled
+        logs stay memory-flat).  Only kinds that occur are present,
+        matching the seed's incrementally-built dict."""
         if self._counts_len != self._len:
-            bins = np.bincount(self.kinds(), minlength=_NUM_OPCODES)
+            bins = np.zeros(_NUM_OPCODES, dtype=np.int64)
+            for kinds, _, _, _ in self.iter_chunks():
+                bins += np.bincount(kinds, minlength=_NUM_OPCODES)
             self._counts = {
                 _KIND_LIST[code]: int(cnt)
                 for code, cnt in enumerate(bins.tolist())
@@ -488,9 +723,15 @@ class MoveLog:
 
     def ids_of_kind(self, kind: MoveKind) -> np.ndarray:
         """Vertex ids of every move of ``kind``, in game order (vectorized
-        column filter — e.g. the fired-operation schedule for COMPUTE)."""
-        kinds, vids, _, _ = self.columns()
-        return vids[kinds == _CODE_OF_KIND[kind]]
+        per-chunk column filter — e.g. the fired-operation schedule for
+        COMPUTE; the result is small even when the log is spilled)."""
+        code = _CODE_OF_KIND[kind]
+        parts = [
+            vids[kinds == code] for kinds, vids, _, _ in self.iter_chunks()
+        ]
+        if not parts:
+            return np.empty(0, dtype=np.int32)
+        return np.concatenate(parts)
 
     # ------------------------------------------------------------------
     # Lazy Move view (sequence protocol)
@@ -511,17 +752,17 @@ class MoveLog:
         return self._len > 0
 
     def __iter__(self) -> Iterator[Move]:
-        kinds, vids, locs, srcs = self.columns()
         vertex_of = self.vertex_of
-        for code, vid, loc, src in zip(
-            kinds.tolist(), vids.tolist(), locs.tolist(), srcs.tolist()
-        ):
-            yield Move(
-                _KIND_LIST[code],
-                vertex_of(vid),
-                decode_instance(loc),
-                decode_instance(src),
-            )
+        for kinds, vids, locs, srcs in self.iter_chunks():
+            for code, vid, loc, src in zip(
+                kinds.tolist(), vids.tolist(), locs.tolist(), srcs.tolist()
+            ):
+                yield Move(
+                    _KIND_LIST[code],
+                    vertex_of(vid),
+                    decode_instance(loc),
+                    decode_instance(src),
+                )
 
     def __getitem__(self, item: Union[int, slice]):
         cols = self.columns()
@@ -537,6 +778,11 @@ class MoveLog:
         return self._move_at(row, cols)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._spill is not None:
+            return (
+                f"MoveLog({self._len} moves, "
+                f"{self.spilled_bytes} bytes spilled)"
+            )
         return f"MoveLog({self._len} moves, {len(self._blocks)} blocks)"
 
 

@@ -10,7 +10,12 @@ solvers, a direct tridiagonal solver for 1-D validation
 (:mod:`heat`).
 """
 
-from .cg_solver import CGResult, cg_flops_per_iteration, cg_total_flops, conjugate_gradient
+from .cg_solver import (
+    CGResult,
+    cg_flops_per_iteration,
+    cg_total_flops,
+    conjugate_gradient,
+)
 from .gmres_solver import GMRESResult, gmres, gmres_flops
 from .grid import Grid
 from .heat import HeatRunResult, run_heat_equation

@@ -12,7 +12,7 @@ movement figures of Section 5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -86,7 +86,10 @@ def run_heat_equation(
     if timesteps < 0:
         raise ValueError("timesteps cannot be negative")
 
-    u = grid.initial_condition() if u0 is None else np.array(u0, dtype=float).reshape(-1)
+    if u0 is None:
+        u = grid.initial_condition()
+    else:
+        u = np.array(u0, dtype=float).reshape(-1)
     if u.shape[0] != grid.num_points:
         raise ValueError("initial condition has the wrong size")
 

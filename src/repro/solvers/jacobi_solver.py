@@ -21,7 +21,7 @@ the bound is tight.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
@@ -139,7 +139,6 @@ def stencil_sweeps(
                 shifted = np.zeros_like(u)
                 src = [slice(None)] * d
                 dst = [slice(None)] * d
-                skip = False
                 for axis, o in enumerate(off):
                     if o == 1:
                         src[axis] = slice(1, None)
@@ -163,7 +162,10 @@ def stencil_flops(n: int, timesteps: int, dimensions: int,
     neighbour plus the centre); ``box``: ``2 * 3^d n^d``.
     """
     nd = n ** dimensions
-    per_point = 2 * (2 * dimensions + 1) if neighborhood == "star" else 2 * 3 ** dimensions
+    if neighborhood == "star":
+        per_point = 2 * (2 * dimensions + 1)
+    else:
+        per_point = 2 * 3**dimensions
     return float(per_point) * nd * timesteps
 
 

@@ -8,7 +8,6 @@ bounded ranges) that a shared helper keeps error messages consistent.
 from __future__ import annotations
 
 from numbers import Real
-from typing import Optional
 
 __all__ = ["require_positive", "require_in_range"]
 

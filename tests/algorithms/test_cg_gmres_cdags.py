@@ -11,9 +11,8 @@ from repro.algorithms import (
     traced_cg_cdag,
     traced_gmres_cdag,
 )
-from repro.bounds import automated_wavefront_bound, cg_wavefront_sizes
+from repro.bounds import automated_wavefront_bound
 from repro.core.properties import min_wavefront
-from repro.machine import CRAY_XT5, IBM_BGQ
 from repro.solvers import Grid, StencilOperator, conjugate_gradient
 
 

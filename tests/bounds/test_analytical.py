@@ -41,7 +41,8 @@ class TestSection3Formulas:
 
     def test_composite_naive_sum_dominates_upper_bound(self):
         for n in (8, 32, 128):
-            assert composite_example_naive_sum(n, 64) > composite_example_io_upper_bound(n)
+            naive = composite_example_naive_sum(n, 64)
+            assert naive > composite_example_io_upper_bound(n)
 
     def test_composite_io_below_matmul_step_bound_for_large_n(self):
         # the punchline of Section 3: for sizeable N the whole composite

@@ -12,7 +12,7 @@ from repro.bounds import (
     untagging_bound,
 )
 from repro.core import CDAGError, chain_cdag, diamond_cdag, independent_chains_cdag
-from repro.pebbling import optimal_rbw_io, spill_game_rbw
+from repro.pebbling import optimal_rbw_io
 
 
 class TestDecomposition:
@@ -91,7 +91,6 @@ class TestCorollary2AndTheorem3:
     def test_corollary2_soundness_on_chain(self):
         # C' = chain with its input and output vertices; C = the middle.
         c_full = chain_cdag(3)
-        core = c_full.without_io_vertices()
         io_core = 0  # the middle of a chain alone needs no I/O (no tags)
         assert io_deletion_bound(io_core, 1, 1) <= optimal_rbw_io(c_full, 2).io
 

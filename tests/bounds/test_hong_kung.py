@@ -13,9 +13,7 @@ from repro.core import (
     greedy_rbw_partition,
     outer_product_cdag,
     reduction_tree_cdag,
-    topological_schedule,
 )
-from repro.core.partition import partition_from_schedule
 from repro.pebbling import spill_game_rbw
 
 

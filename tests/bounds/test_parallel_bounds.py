@@ -145,4 +145,5 @@ class TestMonotonicity:
         assert hi <= lo
 
     def test_theorem5_scales_linearly_with_sequential_bound(self):
-        assert vertical_bound_from_sequential(200, 4) == 2 * vertical_bound_from_sequential(100, 4)
+        double = vertical_bound_from_sequential(200, 4)
+        assert double == 2 * vertical_bound_from_sequential(100, 4)

@@ -42,7 +42,9 @@ class TestValidateSchedule:
     def test_rejects_duplicates(self):
         c = chain_cdag(2)
         with pytest.raises(Exception):
-            validate_schedule(c, [("chain", 0), ("chain", 0), ("chain", 1), ("chain", 2)])
+            validate_schedule(
+                c, [("chain", 0), ("chain", 0), ("chain", 1), ("chain", 2)]
+            )
 
     def test_rejects_missing_vertices(self):
         c = chain_cdag(2)

@@ -1,6 +1,5 @@
 """Unit tests for S-partition construction and validation."""
 
-import pytest
 
 from repro.core import (
     SPartition,

@@ -122,7 +122,9 @@ class TestConvexCuts:
 
     def test_is_convex_cut_detects_backward_edge(self):
         c = chain_cdag(3)
-        assert not is_convex_cut(c, [("chain", 0), ("chain", 2)], [("chain", 1), ("chain", 3)])
+        assert not is_convex_cut(
+            c, [("chain", 0), ("chain", 2)], [("chain", 1), ("chain", 3)]
+        )
 
 
 class TestWavefronts:

@@ -15,7 +15,6 @@ from repro.evaluation import (
     format_table,
     render_report,
 )
-from repro.machine import CRAY_XT5, IBM_BGQ
 
 
 class TestE1Table1:

@@ -6,7 +6,6 @@ against pebble games and against the simulated cluster, and evaluate the
 machine-balance verdicts of the paper.
 """
 
-import numpy as np
 import pytest
 
 from repro.algorithms import (
@@ -22,7 +21,7 @@ from repro.bounds import (
     jacobi_io_lower_bound,
     sum_of_bounds,
 )
-from repro.core import grid_stencil_cdag, min_liveset_schedule, partition_from_game
+from repro.core import grid_stencil_cdag, partition_from_game
 from repro.core.partition import check_rbw_partition
 from repro.distsim import DistributedExecutor, SimulatedCluster
 from repro.machine import CRAY_XT5, IBM_BGQ

@@ -114,7 +114,9 @@ class TestR4R5VerticalMoves:
 
 
 class TestR6Compute:
-    def test_compute_requires_level1_pebbles_of_same_processor(self, cluster, tiny_cdag):
+    def test_compute_requires_level1_pebbles_of_same_processor(
+        self, cluster, tiny_cdag
+    ):
         game = ParallelRBWPebbleGame(tiny_cdag, cluster)
         game.load(("chain", 0), node=0)
         game.move_up(("chain", 0), level=2, index=0)

@@ -35,7 +35,9 @@ def layered_dags(draw):
             )
             for p in preds:
                 edges.append(((layer - 1, p), (layer, i)))
-    vertices = [(l, i) for l in range(num_layers) for i in range(widths[l])]
+    vertices = [
+        (layer, i) for layer in range(num_layers) for i in range(widths[layer])
+    ]
     cdag = CDAG(vertices=vertices, edges=edges)
     for v in cdag.sources():
         cdag.tag_input(v)

@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.solvers import (
-    CSRMatrix,
-    Grid,
     StencilOperator,
     cg_flops_per_iteration,
     cg_total_flops,
