@@ -2,12 +2,19 @@
 # CI (.github/workflows/ci.yml) calls these same targets, one per job.
 PY := PYTHONPATH=src python
 
-.PHONY: test doctest bench bench-smoke bench-guard lint check
+.PHONY: test test-sharded doctest bench bench-smoke bench-guard lint check
 
 # Tier-1 suite (includes the doctest run over the documented public
 # surface and the ~1 s bench smoke in tests/test_docs_and_bench_smoke.py).
 test:
 	$(PY) -m pytest -x -q
+
+# Sharded-runner smoke: the workers=2 differential + lifecycle suites
+# (spawns real process pools; its own CI step so a pool/teardown
+# regression is named in the job list).
+test-sharded:
+	$(PY) -m pytest tests/pebbling/test_sharded_strategies.py \
+	  tests/pebbling/test_movelog_merge_properties.py -q
 
 # Standalone doctest pass over the documented modules.
 doctest:

@@ -24,6 +24,7 @@ set ``BENCH_SMOKE=1`` for the smallest-size smoke run (which still plays
 the 10^6-move P-RBW move-log game).
 """
 
+import os
 import time as _time
 import tracemalloc
 
@@ -39,6 +40,7 @@ from repro.core.properties import min_wavefront_rebuild
 from repro.pebbling import (
     RedBluePebbleGame,
     parallel_spill_game,
+    run_spill_game,
     spill_game_redblue,
 )
 from repro.pebbling.workloads import (
@@ -85,6 +87,14 @@ STRATEGY_DICT_BASELINE_MAX_OPS = 100_000
 #: move counts for the spilled-log round-trip bench (bulk-synthesized
 #: columns -> disk -> full rule-checked engine replay)
 SPILL_SIZES = (1_000_001,) if SMOKE else (1_000_001, 100_000_001)
+#: (ops, workers) cases for the sharded star strategy bench — the smoke
+#: case is also measured in full mode so the CI bench guard overlaps;
+#: the 200k-op case is the 10^7-move scaling target of frontier (c)
+SHARDED_CASES = (
+    ((2_000, 2),)
+    if SMOKE
+    else ((2_000, 2), (20_000, 4), (200_000, 4))
+)
 
 
 def jacobi_1d(n: int) -> CDAG:
@@ -321,6 +331,61 @@ def test_bench_strategy_loops():
         )
     emit(
         "Spill-strategy hot loops, batched backend vs dict reference\n"
+        + "\n".join(rows)
+    )
+
+
+def test_bench_sharded_strategy():
+    """Move throughput of the sharded multiprocess runner on the star
+    workload vs the single-process batched loop (identical records,
+    pinned by the differential suite).
+
+    Near-linear scaling needs real cores: the >= 2.5x acceptance bar for
+    the 10^7-move game at 4 workers is asserted only when the machine
+    has them (single-core CI boxes time-slice the pool and measure the
+    sharding overhead instead — recorded, not asserted).
+    """
+    cores = os.cpu_count() or 1
+    rows = []
+    for num_ops, workers in SHARDED_CASES:
+        cdag, hierarchy = star_spill_setup(num_ops)
+        seq_record = parallel_spill_game(cdag, hierarchy)
+        moves = len(seq_record.log)
+        repeat = 2 if num_ops <= 20_000 else 1
+        seq_ns = time_ns_per_op(
+            lambda: parallel_spill_game(cdag, hierarchy), repeat=repeat
+        ) / moves
+
+        def sharded():
+            return run_spill_game(cdag, hierarchy, workers=workers)
+
+        sharded_record = sharded()
+        assert sharded_record.summary() == seq_record.summary()
+        sharded_ns = time_ns_per_op(sharded, repeat=repeat) / moves
+        speedup = seq_ns / sharded_ns
+        record_bench(
+            f"strategy/sharded_star_{moves}_w{workers}",
+            ns_per_op=sharded_ns,
+            sequential_ns_per_op=seq_ns,
+            speedup_vs_sequential=round(speedup, 2),
+            num_moves=moves,
+            num_ops=num_ops,
+            workers=workers,
+            cpu_count=cores,
+        )
+        rows.append(
+            f"  star {moves:9d} mv  w={workers}  "
+            f"sharded={sharded_ns:6.0f} ns/mv  seq={seq_ns:6.0f}  "
+            f"({speedup:.2f}x, {cores} cores)"
+        )
+        if moves >= 10_000_000 and workers >= 4 and cores >= 4:
+            assert speedup >= 2.5, (
+                f"sharded 10^7-move game only {speedup:.2f}x over the "
+                f"single-process loop with {workers} workers on "
+                f"{cores} cores"
+            )
+    emit(
+        "Sharded strategy runner vs single-process batched loop\n"
         + "\n".join(rows)
     )
 

@@ -6,14 +6,18 @@ touching the committed ``BENCH_core.json``), then compares the freshly
 measured ``ns_per_op`` of every guarded entry against the committed
 value and fails on more-than-``THRESHOLD``-fold regressions.
 
-Guarded prefixes: ``movelog/``, ``sched/``, ``strategy/`` — the hot-path
-numbers the compiled backend, columnar log, and batched strategy loops
-exist for.  Only keys present in both files are compared (smoke mode
-measures the smallest sizes; committed entries at other sizes are
-informational).  The threshold is deliberately loose (3x) because CI
-machines are slower and noisier than the reference container: the guard
-catches algorithmic regressions (accidental O(n) scans, dropped caches),
-not percent-level noise.
+Guarded prefixes: ``movelog/``, ``sched/``, ``strategy/`` (which
+includes the ``strategy/sharded_*`` multiprocess-runner entries) — the
+hot-path numbers the compiled backend, columnar log, and batched/sharded
+strategy loops exist for.  Only keys present in both files are compared
+(smoke mode measures the smallest sizes; committed entries at other
+sizes are informational), but every *required group* must overlap in at
+least one key — a refactor that silently stops measuring the sharded
+runner (or any other group) fails the guard instead of shrinking it.
+The threshold is deliberately loose (3x) because CI machines are slower
+and noisier than the reference container: the guard catches algorithmic
+regressions (accidental O(n) scans, dropped caches), not percent-level
+noise.
 
 Usage::
 
@@ -31,6 +35,14 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 COMMITTED = REPO / "BENCH_core.json"
 GUARDED_PREFIXES = ("movelog/", "sched/", "strategy/")
+#: each of these prefixes must overlap the baseline in >= 1 entry
+REQUIRED_GROUPS = (
+    "movelog/",
+    "movelog/spill_roundtrip_",
+    "sched/",
+    "strategy/",
+    "strategy/sharded_",
+)
 THRESHOLD = float(os.environ.get("BENCH_GUARD_THRESHOLD", "3.0"))
 
 
@@ -69,6 +81,7 @@ def main() -> int:
 
     rows = []
     failures = []
+    compared = []
     for name in sorted(fresh):
         if not name.startswith(GUARDED_PREFIXES):
             continue
@@ -76,6 +89,7 @@ def main() -> int:
         new = fresh[name].get("ns_per_op")
         if base is None or new is None or base <= 0:
             continue
+        compared.append(name)
         ratio = new / base
         verdict = "ok"
         if ratio > THRESHOLD:
@@ -87,6 +101,17 @@ def main() -> int:
         )
     if not rows:
         print("error: no guarded benchmark entries overlap the baseline")
+        return 2
+    missing_groups = [
+        prefix
+        for prefix in REQUIRED_GROUPS
+        if not any(name.startswith(prefix) for name in compared)
+    ]
+    if missing_groups:
+        print(
+            "error: required benchmark group(s) missing from the "
+            f"smoke-vs-baseline overlap: {', '.join(missing_groups)}"
+        )
         return 2
 
     print(f"\nBench guard (threshold {THRESHOLD:.1f}x):")

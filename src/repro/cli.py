@@ -11,13 +11,19 @@ Usage::
     python -m repro.cli validate
     python -m repro.cli distsim --nodes 4 --cache 64
     python -m repro.cli balance
+    python -m repro.cli spill --workload star --ops 2000 --workers 2
     python -m repro.cli all
 
 Each subcommand runs the corresponding experiment driver from
 :mod:`repro.evaluation.experiments` and prints the reproduced table; the
 ``all`` subcommand runs everything the benchmark harness covers (E1-E9)
-with default parameters.  The usage block above lists every registered
-subcommand — ``tests/evaluation/test_cli.py`` pins it against the parser.
+with default parameters.  ``spill`` plays a spill-strategy pebble game
+on a synthetic workload through the unified
+:func:`repro.pebbling.run_spill_game` entry point — ``--workers N``
+shards independent subgames across a process pool and reports the
+merged, move-for-move-canonical record.  The usage block above lists
+every registered subcommand — ``tests/evaluation/test_cli.py`` pins it
+against the parser.
 """
 
 from __future__ import annotations
@@ -82,8 +88,77 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timesteps", type=int, default=6)
 
     sub.add_parser("balance", help="balance-condition summary (E9)")
+
+    p = sub.add_parser(
+        "spill",
+        help="spill-strategy pebble game on a synthetic workload "
+        "(sharded across processes with --workers N)",
+    )
+    p.add_argument("--workload", choices=["star", "chains"], default="star")
+    p.add_argument("--ops", type=int, default=2000,
+                   help="operations in the star workload")
+    p.add_argument("--degree", type=int, default=8,
+                   help="operands per star operation")
+    p.add_argument("--chains", type=int, default=64,
+                   help="chains in the chains workload")
+    p.add_argument("--length", type=int, default=32, help="chain length")
+    p.add_argument("--red", type=int, default=4,
+                   help="red pebbles for the chains workload")
+    p.add_argument("--policy", choices=["lru", "belady"], default="lru")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool shards (1 = sequential)")
+    p.add_argument("--spill-log", action="store_true",
+                   help="record into a disk-spilled move log")
+
     sub.add_parser("all", help="run every experiment with default parameters")
     return parser
+
+
+def _run_spill(args: argparse.Namespace) -> str:
+    """The ``spill`` subcommand: play a (possibly sharded) strategy game
+    on a synthetic workload and report the canonical record."""
+    from time import perf_counter
+
+    from .core.ordering import dfs_schedule
+    from .pebbling import run_spill_game
+    from .pebbling.workloads import chains_spill_setup, star_spill_setup
+
+    if args.workload == "star":
+        cdag, memory = star_spill_setup(args.ops, args.degree)
+        schedule = None
+    else:
+        # The chain-major (DFS) schedule keeps each chain contiguous,
+        # which is what lets the runner shard the shared fast memory.
+        cdag, memory = chains_spill_setup(args.chains, args.length, args.red)
+        schedule = dfs_schedule(cdag)
+    start = perf_counter()
+    record = run_spill_game(
+        cdag,
+        memory,
+        schedule=schedule,
+        policy=args.policy,
+        workers=args.workers,
+        spill=args.spill_log,
+    )
+    elapsed = perf_counter() - start
+    summary = record.summary()
+    lines = [
+        f"workload      : {args.workload} "
+        f"({cdag.num_vertices()} vertices, {cdag.num_edges()} edges)",
+        f"workers       : {args.workers}",
+        f"moves         : {summary['moves']}",
+        f"io (R1+R2)    : {summary['io']}",
+        f"vertical_io   : {summary['vertical_io']}",
+        f"horizontal_io : {summary['horizontal_io']}",
+        f"elapsed       : {elapsed:.2f} s "
+        f"({summary['moves'] / max(elapsed, 1e-9) / 1e6:.2f} Mmoves/s)",
+    ]
+    if record.log.is_spilled:
+        lines.append(f"spilled_bytes : {record.log.spilled_bytes}")
+        record.log.close()
+    return "Spill-strategy game\n" + "\n".join(
+        "  " + line for line in lines
+    )
 
 
 def _run_one(name: str, args: argparse.Namespace) -> str:
@@ -136,6 +211,8 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
         return render_report(
             "Balance-condition summary", experiment_balance_conditions()
         )
+    if name == "spill":
+        return _run_spill(args)
     raise ValueError(f"unknown experiment {name!r}")
 
 

@@ -258,9 +258,10 @@ def partition_from_game(cdag: CDAG, moves, s: int) -> SPartition:
         # Number of I/O moves strictly before each move; the phase of a
         # compute is how many times the "(S+1)-th I/O closes the phase"
         # rule has fired before it.  Chunk at a time (spilled logs stay
-        # memory-flat): ``io_seen`` carries the count across chunks.
+        # memory-flat, and only the opcode + vertex-id column files are
+        # paged in): ``io_seen`` carries the count across chunks.
         io_seen = 0
-        for kinds, vids, _, _ in log.iter_chunks():
+        for kinds, vids in log.select_columns("kinds", "vertex_ids"):
             io_mask = (kinds == OP_LOAD) | (kinds == OP_STORE)
             io_before = io_seen + np.cumsum(io_mask) - io_mask
             compute_mask = kinds == OP_COMPUTE

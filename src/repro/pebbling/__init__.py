@@ -8,6 +8,10 @@
   horizontal data movement.
 * Strategies (:mod:`repro.pebbling.strategies`) produce complete games —
   upper bounds on I/O — from schedules and owner-computes assignments.
+* :func:`run_spill_game` is the unified strategy entry point; with
+  ``workers=N`` it shards independent per-processor subgames across a
+  process pool (:class:`ShardedStrategyRunner`) and merges the shard
+  logs into one canonical, move-for-move-faithful record.
 * :func:`optimal_rbw_io` finds the exact optimum on tiny CDAGs by
   uniform-cost search, used to validate the bounds.
 """
@@ -17,6 +21,12 @@ from .optimal import OptimalSearchResult, SearchBudgetExceeded, optimal_rbw_io
 from .parallel import ParallelRBWPebbleGame
 from .rbw import RBWPebbleGame
 from .redblue import RedBluePebbleGame
+from .sharded import (
+    ShardedStrategyRunner,
+    ShardPlan,
+    ShardSpec,
+    run_spill_game,
+)
 from .state import GameError, GameRecord, Move, MoveKind, MoveLog
 from .strategies import (
     contiguous_block_assignment,
@@ -34,6 +44,10 @@ __all__ = [
     "ParallelRBWPebbleGame",
     "RBWPebbleGame",
     "RedBluePebbleGame",
+    "ShardedStrategyRunner",
+    "ShardPlan",
+    "ShardSpec",
+    "run_spill_game",
     "GameError",
     "GameRecord",
     "Move",

@@ -244,7 +244,9 @@ class RBWPebbleGame(CompiledEngineMixin):
         Accepts a :class:`~repro.pebbling.state.GameRecord`, a
         :class:`~repro.pebbling.state.MoveLog`, or any iterable of
         :class:`Move` objects; a columnar log bound to this engine's
-        compiled CDAG replays directly off the integer columns.
+        compiled CDAG replays directly off the integer columns —
+        paging only the opcode + vertex-id column files when the log is
+        spilled (sequential games never set locations/sources).
         """
         self.reset()
         log = moves.log if isinstance(moves, GameRecord) else moves
@@ -252,8 +254,9 @@ class RBWPebbleGame(CompiledEngineMixin):
             handlers = (
                 self.load_id, self.store_id, self.compute_id, self.delete_id,
             )
-            # One block at a time: spilled logs page in via memmap chunks.
-            for kinds, vids, _, _ in log.iter_chunks():
+            # One block at a time: spilled logs page in via memmap chunks
+            # of just the opcode + vertex-id column files.
+            for kinds, vids in log.select_columns("kinds", "vertex_ids"):
                 for code, vid in zip(kinds.tolist(), vids.tolist()):
                     if code >= len(handlers):
                         raise GameError(

@@ -64,8 +64,9 @@ import enum
 import os
 import shutil
 import tempfile
+import weakref
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -228,6 +229,16 @@ _INST_SHIFT = 24
 _INST_MASK = (1 << _INST_SHIFT) - 1
 _NO_INST = -1
 
+#: public column names accepted by :meth:`MoveLog.select_columns`, in
+#: block-tuple order, and the dtype of each column
+_COLUMN_INDEX = {
+    "kinds": 0,
+    "vertex_ids": 1,
+    "locations": 2,
+    "sources": 3,
+}
+_COLUMN_DTYPES = (np.int8, np.int32, np.int32, np.int32)
+
 
 def encode_instance(inst: Optional[Tuple[int, int]]) -> int:
     """Pack a ``(level, index)`` storage instance into one int (-1 = None)."""
@@ -268,14 +279,36 @@ class Move:
         return self.kind in (MoveKind.LOAD, MoveKind.STORE)
 
 
+def _release_spill(files: tuple, directory: str) -> None:
+    """Close a spill store's column files and remove its directory.
+
+    Module-level so ``weakref.finalize`` can call it without keeping the
+    store alive; runs at most once per store (finalize semantics), from
+    :meth:`_SpillStore.close`, garbage collection, or interpreter exit —
+    whichever comes first — so worker-process teardown never leaks spill
+    files.
+    """
+    for f in files:
+        try:
+            f.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    shutil.rmtree(directory, ignore_errors=True)
+
+
 class _SpillStore:
     """Append-only on-disk block store for one :class:`MoveLog`.
 
     Each flushed block is appended to four per-column binary files inside
     a private temporary directory; reads go through ``numpy.memmap``, so
     paging a chunk back costs OS page-ins, not Python-heap allocations.
-    The store owns its directory and removes it on :meth:`close` (the
-    spill is scratch backing storage for a live log, not an archive).
+    The store owns its directory and removes it on :meth:`close` — or,
+    failing that, when the ``weakref.finalize`` registered at
+    construction fires on collection/interpreter exit (the spill is
+    scratch backing storage for a live log, not an archive).
+    :meth:`detach` transfers ownership instead: the files survive the
+    store and process, to be re-opened elsewhere via :meth:`attach` —
+    the cross-process handoff the sharded runner's workers use.
     """
 
     #: column name -> dtype, in the block tuple order of ``MoveLog._flush``
@@ -286,7 +319,10 @@ class _SpillStore:
         ("srcs", np.int32),
     )
 
-    __slots__ = ("directory", "paths", "rows", "_files", "_block_rows")
+    __slots__ = (
+        "directory", "paths", "rows", "_files", "_block_rows",
+        "_finalizer", "__weakref__",
+    )
 
     def __init__(self, base) -> None:
         if base is True:
@@ -304,6 +340,33 @@ class _SpillStore:
         }
         self.rows = 0
         self._block_rows: List[int] = []
+        self._finalizer = weakref.finalize(
+            self, _release_spill, tuple(self._files.values()), self.directory
+        )
+
+    @classmethod
+    def attach(cls, manifest: dict) -> "_SpillStore":
+        """Re-open a store from a :meth:`detach` manifest (new owner).
+
+        The attached store owns the files from here on: closing it (or
+        dropping it) removes the directory, exactly like a store that
+        created its files itself.
+        """
+        self = cls.__new__(cls)
+        self.directory = manifest["directory"]
+        self.paths = {
+            name: os.path.join(self.directory, name + ".bin")
+            for name, _ in self._SPEC
+        }
+        self._files = {
+            name: open(path, "ab") for name, path in self.paths.items()
+        }
+        self.rows = int(manifest["rows"])
+        self._block_rows = [int(n) for n in manifest["block_rows"]]
+        self._finalizer = weakref.finalize(
+            self, _release_spill, tuple(self._files.values()), self.directory
+        )
+        return self
 
     def append_block(self, kinds, vids, locs, srcs) -> None:
         n = len(kinds)
@@ -316,12 +379,22 @@ class _SpillStore:
         self._block_rows.append(n)
         self.rows += n
 
-    def iter_blocks(self) -> Iterator[tuple]:
-        """Yield the stored blocks as read-only memmap column views."""
+    def iter_blocks(
+        self, columns: Optional[Sequence[int]] = None
+    ) -> Iterator[tuple]:
+        """Yield the stored blocks as read-only memmap column views.
+
+        ``columns`` selects a subset of column indices (into ``_SPEC``) —
+        only those files are memmapped, so a reader that needs just the
+        opcode and vertex-id columns pages 5 bytes/move instead of 13.
+        """
         if not self.rows:
             return
+        if columns is None:
+            columns = range(len(self._SPEC))
         maps = []
-        for name, dtype in self._SPEC:
+        for k in columns:
+            name, dtype = self._SPEC[k]
             self._files[name].flush()
             maps.append(
                 np.memmap(
@@ -344,16 +417,73 @@ class _SpillStore:
             if os.path.exists(p)
         )
 
-    def close(self) -> None:
-        for f in self._files.values():
-            try:
-                f.close()
-            except OSError:  # pragma: no cover - already closed
-                pass
-        shutil.rmtree(self.directory, ignore_errors=True)
+    def detach(self) -> dict:
+        """Flush and release the files *without* deleting them.
 
-    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
-        self.close()
+        Returns a manifest (directory + block layout) from which
+        :meth:`attach` reconstructs a read-side store — possibly in a
+        different process.  The caller inherits responsibility for the
+        directory.
+        """
+        for f in self._files.values():
+            f.flush()
+            f.close()
+        self._finalizer.detach()
+        return {
+            "directory": self.directory,
+            "rows": self.rows,
+            "block_rows": list(self._block_rows),
+        }
+
+    def close(self) -> None:
+        """Release files and directory (idempotent; safe to call twice)."""
+        self._finalizer()
+
+
+class _MergeCursor:
+    """Read cursor over one :meth:`MoveLog.merge` input: chunk-paged rows
+    plus the per-row sort keys, consumed strictly left to right."""
+
+    __slots__ = ("keys", "pos", "end", "index", "_chunks", "_cur", "_off",
+                 "_vid_map")
+
+    def __init__(self, log, keys: np.ndarray, index: int, vid_map) -> None:
+        self.keys = keys
+        self.pos = 0
+        self.end = len(keys)
+        self.index = index
+        self._chunks = log.iter_chunks()
+        self._cur = None
+        self._off = 0
+        self._vid_map = vid_map
+
+    @property
+    def next_key(self) -> int:
+        return int(self.keys[self.pos])
+
+    def count_upto(self, limit_key: int, side: str) -> int:
+        """Rows from the cursor whose key precedes ``limit_key``
+        (``side="right"``: <=, ``"left"``: <)."""
+        return int(np.searchsorted(self.keys, limit_key, side=side)) - self.pos
+
+    def take(self, n: int):
+        """Yield ``n`` rows as column-tuple slices, paging chunks on
+        demand (vertex ids remapped when a vid map was given)."""
+        while n > 0:
+            if self._cur is None or self._off >= len(self._cur[0]):
+                self._cur = next(self._chunks)
+                self._off = 0
+            avail = len(self._cur[0]) - self._off
+            m = min(n, avail)
+            kinds, vids, locs, srcs = self._cur
+            sl = slice(self._off, self._off + m)
+            v = vids[sl]
+            if self._vid_map is not None:
+                v = self._vid_map[v]
+            yield (kinds[sl], v, locs[sl], srcs[sl])
+            self._off += m
+            self.pos += m
+            n -= m
 
 
 class MoveLog:
@@ -554,6 +684,117 @@ class MoveLog:
         self._len += n
 
     # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    @classmethod
+    def merge(
+        cls,
+        logs: Sequence["MoveLog"],
+        keys: Sequence,
+        compiled=None,
+        spill=False,
+        block_size: int = 65536,
+        vid_maps: Optional[Sequence] = None,
+    ) -> "MoveLog":
+        """Stable k-way merge of move logs ordered by per-row sort keys.
+
+        ``keys[j]`` is an integer array aligned with the rows of
+        ``logs[j]`` and **non-decreasing** within each log (the sharded
+        runner uses the global macro-step clock of the move's burst).
+        The merged log orders every row by ``(key, input index)`` with
+        rows of equal key from the same input keeping their relative
+        order — so each input's row order is preserved exactly, and ties
+        across inputs resolve to the lower input index.
+
+        ``vid_maps[j]`` (optional) is an id-translation array applied to
+        input ``j``'s vertex-id column (``new_vid = vid_maps[j][vid]``);
+        inputs with a vid map must contain only non-negative (bound)
+        vertex ids.  This is how shard logs recorded against a
+        sub-CDAG's compiled ids land in the global id space.
+
+        The merge is streaming: inputs are paged chunk-at-a-time (via
+        :meth:`iter_chunks`, so spilled inputs stay memory-flat), runs
+        destined for the output are coalesced to ``block_size`` rows and
+        bulk-appended, and the output may itself be spilled
+        (``spill=...``).  Only the key arrays are held in RAM (8
+        bytes/move).
+
+        >>> a, b = MoveLog(), MoveLog()
+        >>> a.append_ids(OP_LOAD, 0); a.append_ids(OP_DELETE, 0)
+        >>> b.append_ids(OP_COMPUTE, 1)
+        >>> m = MoveLog.merge([a, b], [[0, 2], [1]])
+        >>> m.kinds().tolist() == [OP_LOAD, OP_COMPUTE, OP_DELETE]
+        True
+        """
+        if len(logs) != len(keys):
+            raise ValueError("merge needs one key array per log")
+        if vid_maps is not None and len(vid_maps) != len(logs):
+            raise ValueError("merge needs one vid map (or None) per log")
+        cursors = []
+        for j, (log, key) in enumerate(zip(logs, keys)):
+            key = np.ascontiguousarray(key, dtype=np.int64)
+            if len(key) != len(log):
+                raise ValueError(
+                    f"keys[{j}] has {len(key)} entries for a "
+                    f"{len(log)}-move log"
+                )
+            if key.size > 1 and np.any(np.diff(key) < 0):
+                raise ValueError(
+                    f"keys[{j}] must be non-decreasing within the log"
+                )
+            vm = None
+            if vid_maps is not None and vid_maps[j] is not None:
+                vm = np.ascontiguousarray(vid_maps[j], dtype=np.int32)
+                if log._extra_verts:
+                    raise ValueError(
+                        f"logs[{j}] holds interned (negative) vertex ids; "
+                        "vid maps require fully bound logs"
+                    )
+            if len(log):
+                cursors.append(_MergeCursor(log, key, j, vm))
+        out = cls(compiled=compiled, block_size=block_size, spill=spill)
+        pending: List[List[np.ndarray]] = [[], [], [], []]
+        pending_rows = 0
+
+        def flush_pending() -> None:
+            nonlocal pending_rows
+            if not pending_rows:
+                return
+            cols = [
+                np.concatenate(p) if len(p) > 1 else p[0] for p in pending
+            ]
+            out.extend_block(cols[0], cols[1], cols[2], cols[3])
+            for p in pending:
+                p.clear()
+            pending_rows = 0
+
+        active = cursors
+        while active:
+            # The strictly smallest (key, input index) pair leads; its
+            # maximal run — every row preceding the runner-up's next pair
+            # — is copied in bulk (searchsorted + chunk slices).
+            best = min(active, key=lambda cur: (cur.next_key, cur.index))
+            others = [
+                (cur.next_key, cur.index) for cur in active if cur is not best
+            ]
+            if others:
+                limit_key, limit_idx = min(others)
+                side = "right" if best.index < limit_idx else "left"
+                take = best.count_upto(limit_key, side)
+            else:
+                take = best.end - best.pos
+            for chunk in best.take(take):
+                for acc, col in zip(pending, chunk):
+                    acc.append(col)
+                pending_rows += len(chunk[0])
+                if pending_rows >= block_size:
+                    flush_pending()
+            if best.pos >= best.end:
+                active = [cur for cur in active if cur is not best]
+        flush_pending()
+        return out
+
+    # ------------------------------------------------------------------
     # Spill management
     # ------------------------------------------------------------------
     @property
@@ -569,24 +810,66 @@ class MoveLog:
     def close(self) -> None:
         """Release the on-disk spill files (no-op for in-RAM logs).
 
-        After closing, the spilled rows are gone — only use once the log
-        is no longer needed.  Garbage collection closes automatically.
+        Idempotent: a second (or hundredth) call does nothing.  The
+        underlying store is additionally registered with
+        ``weakref.finalize``, so a log that is garbage-collected — or
+        simply alive when a worker process exits — releases its spill
+        directory without an explicit ``close()``.  After closing, the
+        spilled rows are gone; only close once the log is no longer
+        needed.
         """
         if self._spill is not None:
             self._spill.close()
-            self._spill = None
-            self._blocks = []
-            self._kinds = []
-            self._vids = []
-            self._locs = None
-            self._srcs = None
-            self._kapp = self._kinds.append
-            self._vapp = self._vids.append
-            self._lapp = None
-            self._sapp = None
-            self._len = 0
-            self._cols = None
-            self._cols_len = -1
+            self._reset_after_spill_release()
+
+    def detach_spill(self) -> dict:
+        """Flush everything to disk and hand off the spill files.
+
+        Returns a manifest from which :meth:`attach_spill` reconstructs
+        the log — typically in a *different process*: this is how the
+        sharded runner's workers return their shard logs without piping
+        gigabytes of column data through the pool.  The files are no
+        longer owned by this log (its finalizer is disarmed); the
+        attaching side inherits them.  This log is empty afterwards.
+        """
+        if self._spill is None:
+            raise ValueError("detach_spill requires a spilled log")
+        self._flush()
+        manifest = self._spill.detach()
+        manifest["len"] = self._len
+        self._spill = None
+        self._reset_after_spill_release()
+        return manifest
+
+    @classmethod
+    def attach_spill(
+        cls, manifest: dict, compiled=None, block_size: int = 65536
+    ) -> "MoveLog":
+        """Re-open a log from a :meth:`detach_spill` manifest.
+
+        The attached log owns the spill files (closing it removes them)
+        and supports every read path; appends go to a fresh staging
+        block, preserving row order.
+        """
+        log = cls(compiled=compiled, block_size=block_size)
+        log._spill = _SpillStore.attach(manifest)
+        log._len = int(manifest["len"])
+        return log
+
+    def _reset_after_spill_release(self) -> None:
+        self._spill = None
+        self._blocks = []
+        self._kinds = []
+        self._vids = []
+        self._locs = None
+        self._srcs = None
+        self._kapp = self._kinds.append
+        self._vapp = self._vids.append
+        self._lapp = None
+        self._sapp = None
+        self._len = 0
+        self._cols = None
+        self._cols_len = -1
 
     # ------------------------------------------------------------------
     # Vertex encoding
@@ -627,24 +910,74 @@ class MoveLog:
         ``numpy.memmap`` views paged in from disk on demand, chunks of an
         in-RAM log are the existing block arrays — either way at most one
         block is materialized at a time.  Treat the arrays as read-only.
+        Readers that need fewer than the four columns should use
+        :meth:`select_columns` instead — on spilled logs it pages only
+        the requested column files.
         """
+        return self._iter_selected((0, 1, 2, 3))
+
+    def select_columns(self, *names: str) -> Iterator[tuple]:
+        """Yield per-chunk tuples of just the requested columns, in move
+        order (column-selective paging).
+
+        ``names`` are drawn from ``"kinds"``, ``"vertex_ids"``,
+        ``"locations"``, ``"sources"``; the yielded tuples follow the
+        requested order.  On a spilled log only the corresponding column
+        files are memmapped, so a sequential replay that reads opcode +
+        vertex id pages 5 bytes/move off disk instead of the full
+        13-byte row — about half the replay I/O of :meth:`iter_chunks`.
+        Chunk boundaries match :meth:`iter_chunks` exactly.
+
+        >>> log = MoveLog()
+        >>> log.append_ids(OP_LOAD, 7); log.append_ids(OP_DELETE, 7)
+        >>> [(k.tolist(), v.tolist()) for k, v in
+        ...  log.select_columns("kinds", "vertex_ids")]
+        [([0, 3], [7, 7])]
+        """
+        try:
+            idxs = tuple(_COLUMN_INDEX[name] for name in names)
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown column {exc.args[0]!r}; choose from "
+                f"{tuple(_COLUMN_INDEX)}"
+            ) from None
+        if not idxs:
+            raise ValueError("select_columns needs at least one column")
+        return self._iter_selected(idxs)
+
+    def _iter_selected(self, idxs: Tuple[int, ...]) -> Iterator[tuple]:
+        """Shared chunk walk behind :meth:`iter_chunks` and
+        :meth:`select_columns`: flushed blocks (disk or RAM) first, then
+        the staged tail, materializing only the selected columns."""
         if self._spill is not None:
-            yield from self._spill.iter_blocks()
-        for kinds, vids, locs, srcs in self._blocks:
-            if locs is None:
-                locs = np.full(len(kinds), _NO_INST, dtype=np.int32)
-                srcs = locs
-            yield kinds, vids, locs, srcs
+            yield from self._spill.iter_blocks(idxs)
+        for block in self._blocks:
+            yield self._select_from(block, idxs, len(block[0]))
         if self._kinds:
-            kinds = np.asarray(self._kinds, dtype=np.int8)
-            vids = np.asarray(self._vids, dtype=np.int32)
-            if self._locs is not None:
-                locs = np.asarray(self._locs, dtype=np.int32)
-                srcs = np.asarray(self._srcs, dtype=np.int32)
-            else:
-                locs = np.full(len(kinds), _NO_INST, dtype=np.int32)
-                srcs = locs
-            yield kinds, vids, locs, srcs
+            staged = (self._kinds, self._vids, self._locs, self._srcs)
+            n = len(self._kinds)
+            yield tuple(
+                np.asarray(staged[k], dtype=_COLUMN_DTYPES[k])
+                if staged[k] is not None
+                else np.full(n, _NO_INST, dtype=np.int32)
+                for k in idxs
+            )
+
+    @staticmethod
+    def _select_from(block: tuple, idxs: Tuple[int, ...], n: int) -> tuple:
+        """Pick columns out of an in-RAM block, padding absent
+        location/source columns with ``-1`` (sequential games never
+        store them)."""
+        out = []
+        pad = None
+        for k in idxs:
+            col = block[k]
+            if col is None:
+                if pad is None:
+                    pad = np.full(n, _NO_INST, dtype=np.int32)
+                col = pad
+            out.append(col)
+        return tuple(out)
 
     def columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """The four parallel columns ``(kinds, vertex_ids, locations,
@@ -711,7 +1044,7 @@ class MoveLog:
         matching the seed's incrementally-built dict."""
         if self._counts_len != self._len:
             bins = np.zeros(_NUM_OPCODES, dtype=np.int64)
-            for kinds, _, _, _ in self.iter_chunks():
+            for (kinds,) in self._iter_selected((0,)):
                 bins += np.bincount(kinds, minlength=_NUM_OPCODES)
             self._counts = {
                 _KIND_LIST[code]: int(cnt)
@@ -727,7 +1060,8 @@ class MoveLog:
         COMPUTE; the result is small even when the log is spilled)."""
         code = _CODE_OF_KIND[kind]
         parts = [
-            vids[kinds == code] for kinds, vids, _, _ in self.iter_chunks()
+            vids[kinds == code]
+            for kinds, vids in self._iter_selected((0, 1))
         ]
         if not parts:
             return np.empty(0, dtype=np.int32)

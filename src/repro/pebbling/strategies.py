@@ -146,6 +146,7 @@ def _sequential_spill(
     num_red: int,
     schedule: Sequence[Vertex],
     policy: str,
+    step_marks: Optional[List[int]] = None,
 ) -> GameRecord:
     """Reference driver for the red-blue and RBW engines (dict backend).
 
@@ -237,6 +238,9 @@ def _sequential_spill(
         game.load_id(i)
         last_use[i] = clock
 
+    marks_append = step_marks.append if step_marks is not None else None
+    log = game.record.log
+
     for i in sched_ids:
         clock = position[i]
         if is_input[i]:
@@ -261,6 +265,8 @@ def _sequential_spill(
                 game.delete_id(p)
         if remaining_uses[i] == 0 and i in red_ids:
             game.delete_id(i)
+        if marks_append is not None:
+            marks_append(len(log))
 
     # Outputs that are inputs passed straight through (rare, but legal
     # under flexible tagging) need a blue pebble; inputs already have one.
@@ -277,6 +283,7 @@ def _sequential_spill_batched(
     num_red: int,
     schedule: Sequence[Vertex],
     policy: str,
+    step_marks: Optional[List[int]] = None,
 ) -> GameRecord:
     """Batched driver: flat id-indexed ``last_use`` + lazy-heap eviction.
 
@@ -425,6 +432,8 @@ def _sequential_spill_batched(
             delete_id(victim)
 
     lru = not belady
+    marks_append = step_marks.append if step_marks is not None else None
+    log = game.record.log
 
     with _gc_paused():
         for i in sched_ids:
@@ -476,6 +485,8 @@ def _sequential_spill_batched(
                     delete_id(p)
             if remaining_uses[i] == 0 and i in red_ids:
                 delete_id(i)
+            if marks_append is not None:
+                marks_append(len(log))
 
     game.assert_complete()
     return game.record
@@ -488,6 +499,7 @@ def spill_game_rbw(
     policy: str = "lru",
     backend: str = "batched",
     spill=False,
+    step_marks: Optional[List[int]] = None,
 ) -> GameRecord:
     """Play a complete RBW game along ``schedule`` with an LRU/Belady
     spill policy.  Returns the game record (an I/O upper bound).
@@ -496,6 +508,9 @@ def spill_game_rbw(
     ``backend="dict"`` runs the reference implementation (identical
     games, pinned by equivalence tests).  ``spill`` forwards to the
     engine's move log (disk-backed columns for very long games).
+    ``step_marks`` (a caller-provided list) receives the cumulative log
+    length after every fired operation, delimiting each macro-step's
+    move burst — the sharded runner merges shard logs on these marks.
     """
     _validate_policy(policy)
     _validate_backend(backend)
@@ -503,7 +518,7 @@ def spill_game_rbw(
     schedule = list(schedule) if schedule is not None else topological_schedule(cdag)
     game = RBWPebbleGame(cdag, num_red, spill=spill)
     driver = _sequential_spill if backend == "dict" else _sequential_spill_batched
-    return driver(game, cdag, num_red, schedule, policy)
+    return driver(game, cdag, num_red, schedule, policy, step_marks)
 
 
 def spill_game_redblue(
@@ -513,12 +528,13 @@ def spill_game_redblue(
     policy: str = "lru",
     backend: str = "batched",
     spill=False,
+    step_marks: Optional[List[int]] = None,
 ) -> GameRecord:
     """Play a complete Hong-Kung red-blue game along ``schedule``.
 
     The strategy never recomputes (it spills instead), so its cost is an
     upper bound for both the red-blue and the RBW I/O complexity.  See
-    :func:`spill_game_rbw` for ``backend`` and ``spill``.
+    :func:`spill_game_rbw` for ``backend``, ``spill`` and ``step_marks``.
     """
     _validate_policy(policy)
     _validate_backend(backend)
@@ -526,7 +542,7 @@ def spill_game_redblue(
     schedule = list(schedule) if schedule is not None else topological_schedule(cdag)
     game = RedBluePebbleGame(cdag, num_red, strict=False, spill=spill)
     driver = _sequential_spill if backend == "dict" else _sequential_spill_batched
-    return driver(game, cdag, num_red, schedule, policy)
+    return driver(game, cdag, num_red, schedule, policy, step_marks)
 
 
 # ======================================================================
@@ -602,6 +618,7 @@ def _parallel_spill_dict(
     assignment: Dict[Vertex, int],
     schedule: Sequence[Vertex],
     c,
+    step_marks: Optional[List[int]] = None,
 ) -> GameRecord:
     """Reference P-RBW owner-computes loop (dict backend, seed semantics)."""
     L = hierarchy.num_levels
@@ -726,6 +743,9 @@ def _parallel_spill_dict(
                 game.move_up_id(i, inst[0], inst[1])
             last_use[(inst, i)] = clock
 
+    marks_append = step_marks.append if step_marks is not None else None
+    log = game.record.log
+
     for i in sched_ids:
         clock += 1
         if is_input[i]:
@@ -759,6 +779,8 @@ def _parallel_spill_dict(
         if remaining_uses[i] == 0 and not is_output[i]:
             for (lvl, idx) in list(shades(i)):
                 game.delete_id(i, lvl, idx)
+        if marks_append is not None:
+            marks_append(len(log))
 
     game.assert_complete()
     return game.record
@@ -771,6 +793,7 @@ def _parallel_spill_batched(
     assignment: Dict[Vertex, int],
     schedule: Sequence[Vertex],
     c,
+    step_marks: Optional[List[int]] = None,
 ) -> GameRecord:
     """Batched P-RBW owner-computes loop.
 
@@ -980,6 +1003,9 @@ def _parallel_spill_batched(
                 st[3][i] = clock
                 heappush(st[2], (clock, i))
 
+    marks_append = step_marks.append if step_marks is not None else None
+    log = game.record.log
+
     with _gc_paused():
         for i in sched_ids:
             clock += 1
@@ -1024,6 +1050,8 @@ def _parallel_spill_batched(
                     delete_all_id(p)
             if remaining_uses[i] == 0 and not is_output[i]:
                 delete_all_id(i)
+            if marks_append is not None:
+                marks_append(len(log))
 
     game.assert_complete()
     return game.record
@@ -1036,6 +1064,7 @@ def parallel_spill_game(
     schedule: Optional[Sequence[Vertex]] = None,
     backend: str = "batched",
     spill=False,
+    step_marks: Optional[List[int]] = None,
 ) -> GameRecord:
     """Play a complete P-RBW game with an owner-computes strategy.
 
@@ -1050,7 +1079,9 @@ def parallel_spill_game(
     ``backend="batched"`` (default) runs the flat-array + lazy-heap hot
     loop; ``backend="dict"`` runs the reference loop (identical games,
     pinned by equivalence tests).  ``spill`` forwards to the engine's
-    move log (disk-backed columns for very long games).
+    move log (disk-backed columns for very long games).  ``step_marks``
+    receives the cumulative log length after every fired operation (see
+    :func:`spill_game_rbw`).
     """
     _validate_backend(backend)
     schedule, assignment, c = _parallel_spill_prepare(
@@ -1060,4 +1091,4 @@ def parallel_spill_game(
     driver = (
         _parallel_spill_dict if backend == "dict" else _parallel_spill_batched
     )
-    return driver(game, cdag, hierarchy, assignment, schedule, c)
+    return driver(game, cdag, hierarchy, assignment, schedule, c, step_marks)

@@ -54,6 +54,7 @@ __all__ = [
     "star_spill_cdag",
     "star_spill_setup",
     "chains_spill_setup",
+    "component_forest_cdag",
     "synthesize_redblue_pump_log",
 ]
 
@@ -150,6 +151,62 @@ def chains_spill_setup(num_chains: int, length: int, num_red: int = 4):
     accelerates.  A ``(2000, 1000)`` chain grid is a 10^7-move game.
     """
     return independent_chains_cdag(num_chains, length), num_red
+
+
+def component_forest_cdag(
+    num_components: int,
+    component_size: int,
+    seed: int = 0,
+    extra_edge_prob: float = 0.15,
+    tag_outputs: bool = True,
+) -> CDAG:
+    """A disjoint union of seeded random connected DAGs — the canonical
+    multi-component workload of the sharded-runner test suites.
+
+    Component ``k`` is a random connected DAG on ``component_size``
+    vertices ``("c", k, i)`` drawn from ``default_rng(seed + k)`` (every
+    vertex past the first gets one backbone edge from an earlier vertex,
+    plus Bernoulli extras); sources are tagged input and — with
+    ``tag_outputs`` — sinks are tagged output, valid under flexible RBW
+    labels.  Vertices are inserted component-major, so
+    :func:`~repro.core.ordering.dfs_schedule` yields a
+    component-contiguous schedule (what criterion B of the sharded
+    runner needs), while the plain BFS topological order interleaves
+    components.  ``tag_outputs=False`` leaves sinks untagged — the
+    residue-free shape the P-RBW sharding criterion requires.
+    """
+    if num_components < 1 or component_size < 1:
+        raise ValueError("need at least one component of one vertex")
+    vertices = []
+    edges = []
+    inputs = []
+    outputs = []
+    for k in range(num_components):
+        rng = np.random.default_rng(seed + k)
+        n = component_size
+        comp_edges = set()
+        for j in range(1, n):
+            comp_edges.add((int(rng.integers(0, j)), j))
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < extra_edge_prob:
+                    comp_edges.add((i, j))
+        has_pred = {j for _, j in comp_edges}
+        has_succ = {i for i, _ in comp_edges}
+        for i in range(n):
+            v = ("c", k, i)
+            vertices.append(v)
+            if i not in has_pred:
+                inputs.append(v)
+            if tag_outputs and i not in has_succ and i in has_pred:
+                outputs.append(v)
+        edges.extend(
+            ((("c", k, i), ("c", k, j)) for i, j in sorted(comp_edges))
+        )
+    return CDAG.from_edge_list(
+        vertices, edges, inputs, outputs,
+        name=f"forest{num_components}x{component_size}",
+    )
 
 
 def synthesize_redblue_pump_log(

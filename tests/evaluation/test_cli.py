@@ -17,7 +17,8 @@ class TestParser:
     def test_known_subcommands(self):
         parser = build_parser()
         for cmd in ("table1", "composite", "cg", "gmres", "jacobi",
-                    "matmul", "validate", "distsim", "balance", "all"):
+                    "matmul", "validate", "distsim", "balance", "spill",
+                    "all"):
             args = parser.parse_args([cmd])
             assert args.command == cmd
 
@@ -44,6 +45,10 @@ class TestParser:
         assert args.m == [3, 7] and args.n == 50
         args = parser.parse_args(["distsim", "--nodes", "2", "--cache", "16"])
         assert args.nodes == 2 and args.cache == 16
+        args = parser.parse_args(
+            ["spill", "--workload", "star", "--ops", "64", "--workers", "2"]
+        )
+        assert args.workload == "star" and args.workers == 2
 
 
 class TestExecution:
@@ -84,3 +89,15 @@ class TestExecution:
                      "--side", "8", "--timesteps", "2"]) == 0
         out = capsys.readouterr().out
         assert "measured_vertical_max" in out
+
+    def test_spill_sequential(self, capsys):
+        assert main(["spill", "--workload", "star", "--ops", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "moves         : 800" in out  # 50 moves/op at degree 8
+
+    def test_spill_sharded_matches_sequential_counts(self, capsys):
+        assert main(["spill", "--workload", "star", "--ops", "16",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "moves         : 800" in out
+        assert "workers       : 2" in out

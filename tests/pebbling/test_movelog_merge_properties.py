@@ -1,0 +1,246 @@
+"""Property-based tests (hypothesis) for ``MoveLog.merge`` and
+``MoveLog.select_columns``.
+
+Merge properties, for arbitrary valid shard logs (arbitrary rows, block
+sizes, spill settings, and non-decreasing key arrays):
+
+* **count-preserving** — the merged log holds exactly the union of the
+  input rows; per-kind counts are the elementwise sums;
+* **order-stable** — the merged rows equal the reference interleave
+  sorted by ``(key, input index, input row)``;
+* **replayable** — re-splitting a real complete game's log burst-wise
+  and merging it back reproduces the original columns exactly, and the
+  merged log replays green through the rule-checking engine.
+
+Select properties: for arbitrary logs and arbitrary column subsets (in
+any order), the column-selective read agrees chunk-for-chunk with the
+full :meth:`iter_chunks` read.
+
+``hypothesis`` is a test extra (``pip install .[test]``); the module
+skips cleanly when it is absent so tier-1 never hard-depends on it.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core.builders import grid_stencil_cdag  # noqa: E402
+from repro.pebbling import MoveLog, RBWPebbleGame, spill_game_rbw  # noqa: E402
+from repro.pebbling.state import _NUM_OPCODES  # noqa: E402
+
+_SETTINGS = dict(max_examples=30, deadline=None)
+
+#: one move row: (kind, vid, loc, src) — locs/srcs either absent (-1) or
+#: a packed (level, index) instance
+row_strategy = st.tuples(
+    st.integers(min_value=0, max_value=_NUM_OPCODES - 1),
+    st.integers(min_value=0, max_value=99),
+    st.one_of(
+        st.just(-1),
+        st.integers(min_value=1, max_value=3).map(lambda lv: (lv << 24) | 1),
+    ),
+    st.just(-1),
+)
+
+log_rows_strategy = st.lists(row_strategy, min_size=0, max_size=60)
+
+
+def build_log(rows, block_size, spill, tmp_base=None):
+    log = MoveLog(
+        block_size=block_size,
+        spill=(tmp_base if spill else False),
+    )
+    for kind, vid, loc, src in rows:
+        log.append_ids(kind, vid, loc, src)
+    return log
+
+
+def nondecreasing_keys(draw, n):
+    steps = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=3), min_size=n, max_size=n
+        )
+    )
+    return np.cumsum(steps, dtype=np.int64) if n else np.empty(0, np.int64)
+
+
+@st.composite
+def merge_case(draw):
+    num_logs = draw(st.integers(min_value=1, max_value=4))
+    cases = []
+    for _ in range(num_logs):
+        rows = draw(log_rows_strategy)
+        block_size = draw(st.integers(min_value=1, max_value=16))
+        spill = draw(st.booleans())
+        keys = nondecreasing_keys(draw, len(rows))
+        cases.append((rows, block_size, spill, keys))
+    return cases
+
+
+def reference_merge(cases):
+    """Spec: all rows sorted stably by (key, log index, row index)."""
+    tagged = []
+    for j, (rows, _, _, keys) in enumerate(cases):
+        for r, (row, key) in enumerate(zip(rows, keys.tolist())):
+            tagged.append((key, j, r, row))
+    tagged.sort(key=lambda t: (t[0], t[1], t[2]))
+    return [t[3] for t in tagged]
+
+
+class TestMergeProperties:
+    @settings(**_SETTINGS)
+    @given(case=merge_case(), out_block=st.integers(min_value=1, max_value=32))
+    def test_merge_is_stable_and_count_preserving(
+        self, case, out_block, tmp_path_factory
+    ):
+        base = str(tmp_path_factory.mktemp("merge"))
+        logs = [
+            build_log(rows, bs, spill, base)
+            for rows, bs, spill, _ in case
+        ]
+        merged = MoveLog.merge(
+            logs,
+            [keys for _, _, _, keys in case],
+            block_size=out_block,
+        )
+        expected = reference_merge(case)
+        # count-preserving
+        assert len(merged) == sum(len(rows) for rows, _, _, _ in case)
+        ref_counts = {}
+        for log in logs:
+            for kind, cnt in log.counts().items():
+                ref_counts[kind] = ref_counts.get(kind, 0) + cnt
+        assert merged.counts() == ref_counts
+        # order-stable: full column equality against the reference
+        kinds, vids, locs, srcs = merged.columns()
+        got = list(
+            zip(kinds.tolist(), vids.tolist(), locs.tolist(), srcs.tolist())
+        )
+        assert got == expected
+        for log in logs:
+            log.close()
+        merged.close()
+
+    @settings(**_SETTINGS)
+    @given(
+        case=merge_case(),
+        vid_offsets=st.lists(
+            st.integers(min_value=0, max_value=50), min_size=4, max_size=4
+        ),
+    )
+    def test_merge_vid_maps_translate_ids(self, case, vid_offsets):
+        logs = [build_log(rows, bs, False) for rows, bs, _, _ in case]
+        vid_maps = [
+            np.arange(100, dtype=np.int32) + off
+            for off in vid_offsets[: len(case)]
+        ]
+        merged = MoveLog.merge(
+            logs,
+            [keys for _, _, _, keys in case],
+            vid_maps=vid_maps,
+        )
+        expected = reference_merge(
+            [
+                ([(k, v + off, lo, s) for k, v, lo, s in rows], bs, sp, keys)
+                for (rows, bs, sp, keys), off in zip(
+                    case, vid_offsets
+                )
+            ]
+        )
+        assert merged.vertex_ids().tolist() == [v for _, v, _, _ in expected]
+
+    def test_merge_validation_errors(self):
+        log = MoveLog()
+        log.append_ids(0, 1)
+        with pytest.raises(ValueError, match="one key array per log"):
+            MoveLog.merge([log], [])
+        with pytest.raises(ValueError, match="entries"):
+            MoveLog.merge([log], [[1, 2]])
+        log.append_ids(0, 2)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            MoveLog.merge([log], [[2, 1]])
+        with pytest.raises(ValueError, match="one vid map"):
+            MoveLog.merge([log], [[1, 2]], vid_maps=[])
+
+    @settings(**_SETTINGS)
+    @given(
+        splits=st.lists(
+            st.integers(min_value=0, max_value=2), min_size=36, max_size=36
+        )
+    )
+    def test_split_and_merge_replays_green(self, splits):
+        """Distributing a real game's macro-step bursts over k logs and
+        merging them back by burst position reproduces the original log
+        — which then replays green through the rule checker."""
+        cdag = grid_stencil_cdag((6,), 6)
+        c = cdag.compiled()
+        marks = []
+        record = spill_game_rbw(cdag, 4, step_marks=marks)
+        kinds, vids, locs, srcs = record.log.columns()
+        bounds = [0] + marks
+        k = 3
+        shards = [MoveLog(compiled=c) for _ in range(k)]
+        keys = [[] for _ in range(k)]
+        for b in range(len(marks)):
+            j = splits[b % len(splits)]
+            lo, hi = bounds[b], bounds[b + 1]
+            for r in range(lo, hi):
+                shards[j].append_ids(
+                    int(kinds[r]), int(vids[r]), int(locs[r]), int(srcs[r])
+                )
+                keys[j].append(b)
+        merged = MoveLog.merge(shards, keys, compiled=c)
+        assert merged.kinds().tolist() == kinds.tolist()
+        assert merged.vertex_ids().tolist() == vids.tolist()
+        replayed = RBWPebbleGame(cdag, 4).replay(merged)
+        assert replayed.summary() == record.summary()
+
+
+class TestSelectColumnsProperties:
+    @settings(**_SETTINGS)
+    @given(
+        rows=log_rows_strategy,
+        block_size=st.integers(min_value=1, max_value=16),
+        spill=st.booleans(),
+        subset=st.lists(
+            st.sampled_from(
+                ["kinds", "vertex_ids", "locations", "sources"]
+            ),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        ),
+    )
+    def test_selected_reads_agree_with_full_reads(
+        self, rows, block_size, spill, subset, tmp_path_factory
+    ):
+        base = str(tmp_path_factory.mktemp("sel"))
+        log = build_log(rows, block_size, spill, base)
+        full = {
+            "kinds": log.kinds(),
+            "vertex_ids": log.vertex_ids(),
+            "locations": log.locations(),
+            "sources": log.sources(),
+        }
+        chunks = list(log.select_columns(*subset))
+        if rows:
+            for pos, name in enumerate(subset):
+                cat = np.concatenate([c[pos] for c in chunks])
+                assert np.array_equal(cat, full[name]), name
+        else:
+            assert chunks == []
+        # chunk boundaries line up with iter_chunks
+        assert [len(c[0]) for c in chunks] == [
+            len(c[0]) for c in log.iter_chunks()
+        ]
+        log.close()
+
+    def test_select_columns_rejects_unknown_names(self):
+        log = MoveLog()
+        with pytest.raises(ValueError, match="unknown column"):
+            log.select_columns("steps")
+        with pytest.raises(ValueError, match="at least one"):
+            log.select_columns()

@@ -1,0 +1,385 @@
+"""Sharded multiprocess strategy runner: differential + lifecycle suites.
+
+The sharded runner's contract is *move-for-move fidelity*: for any
+shardable (CDAG, schedule, memory) the merged record of a ``workers=N``
+run must equal the sequential strategy's record — same move columns,
+same counts, same counters, same final pebble state after replay — for
+both the ``batched`` and the ``dict`` sequential backends.  These tests
+pin that contract on randomized multi-component forests, the star and
+chains workloads, and the instance-disjoint multi-processor case, plus
+the determinism guarantee (same seed + same worker count ⇒
+byte-identical merged columns) and the spill-file lifecycle (worker
+teardown never leaks spill directories).
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import CDAG
+from repro.core.builders import grid_stencil_cdag, independent_chains_cdag
+from repro.core.ordering import dfs_schedule, topological_schedule
+from repro.pebbling import (
+    GameError,
+    MemoryHierarchy,
+    MoveLog,
+    ParallelRBWPebbleGame,
+    RBWPebbleGame,
+    RedBluePebbleGame,
+    ShardedStrategyRunner,
+    parallel_spill_game,
+    run_spill_game,
+    spill_game_rbw,
+    spill_game_redblue,
+)
+from repro.pebbling.workloads import component_forest_cdag, star_spill_setup
+
+
+def assert_same_game(a, b):
+    """Identical move columns and counters (move-for-move equivalence)."""
+    assert len(a.log) == len(b.log)
+    for col_a, col_b in zip(a.log.columns(), b.log.columns()):
+        assert np.array_equal(col_a, col_b)
+    assert a.counts == b.counts
+    assert a.summary() == b.summary()
+
+
+def chain_components_cdag(num_chains=4, length=6):
+    """Independent untagged-sink chains with per-chain processors."""
+    verts, edges, inputs = [], [], []
+    for k in range(num_chains):
+        prev = ("in", k)
+        verts.append(prev)
+        inputs.append(prev)
+        for j in range(length):
+            v = ("op", k, j)
+            verts.append(v)
+            edges.append((prev, v))
+            prev = v
+    return CDAG.from_edge_list(verts, edges, inputs, [], name="pchains")
+
+
+class TestSequentialDifferential:
+    """Sharded sequential games vs both sequential backends."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_forest_rbw_matches_both_backends(self, seed, workers):
+        cdag = component_forest_cdag(6, 12, seed=seed)
+        schedule = dfs_schedule(cdag)
+        s = max(cdag.in_degree(v) for v in cdag.vertices) + 2
+        sharded = run_spill_game(cdag, s, schedule=schedule, workers=workers)
+        for backend in ("batched", "dict"):
+            seq = spill_game_rbw(cdag, s, schedule=schedule, backend=backend)
+            assert_same_game(seq, sharded)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_forest_redblue_matches_both_backends(self, seed):
+        cdag = component_forest_cdag(5, 10, seed=seed)
+        schedule = dfs_schedule(cdag)
+        s = max(cdag.in_degree(v) for v in cdag.vertices) + 2
+        sharded = run_spill_game(
+            cdag, s, schedule=schedule, workers=2, engine="redblue"
+        )
+        for backend in ("batched", "dict"):
+            seq = spill_game_redblue(
+                cdag, s, schedule=schedule, backend=backend
+            )
+            assert_same_game(seq, sharded)
+
+    def test_chains_workload_with_contiguous_schedule(self):
+        cdag = independent_chains_cdag(12, 8)
+        schedule = dfs_schedule(cdag)
+        sharded = run_spill_game(cdag, 4, schedule=schedule, workers=4)
+        seq = spill_game_rbw(cdag, 4, schedule=schedule)
+        assert_same_game(seq, sharded)
+
+    def test_final_pebble_state_matches(self):
+        cdag = component_forest_cdag(4, 10, seed=3)
+        schedule = dfs_schedule(cdag)
+        s = max(cdag.in_degree(v) for v in cdag.vertices) + 2
+        sharded = run_spill_game(cdag, s, schedule=schedule, workers=2)
+        seq = spill_game_rbw(cdag, s, schedule=schedule)
+        ga, gb = RBWPebbleGame(cdag, s), RBWPebbleGame(cdag, s)
+        ga.replay(seq)
+        gb.replay(sharded)
+        assert ga.red_ids == gb.red_ids
+        assert ga.blue_ids == gb.blue_ids
+        assert ga.white_ids == gb.white_ids
+
+
+class TestParallelDifferential:
+    """Sharded P-RBW games vs both sequential backends."""
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_star_workload(self, workers):
+        cdag, hierarchy = star_spill_setup(24)
+        sharded = run_spill_game(cdag, hierarchy, workers=workers)
+        for backend in ("batched", "dict"):
+            seq = parallel_spill_game(cdag, hierarchy, backend=backend)
+            assert_same_game(seq, sharded)
+            assert seq.vertical_io == sharded.vertical_io
+            assert seq.horizontal_io == sharded.horizontal_io
+            assert seq.compute_per_processor == sharded.compute_per_processor
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_forest_untagged_sinks(self, seed):
+        """Criterion B on a single-processor hierarchy: randomized
+        components marching through one register file."""
+        cdag = component_forest_cdag(5, 9, seed=seed, tag_outputs=False)
+        maxd = max(cdag.in_degree(v) for v in cdag.vertices)
+        hierarchy = MemoryHierarchy.cluster(
+            nodes=1, cores_per_node=1,
+            registers_per_core=maxd + 2, cache_size=maxd + 3,
+        )
+        schedule = dfs_schedule(cdag)
+        sharded = run_spill_game(
+            cdag, hierarchy, schedule=schedule, workers=2
+        )
+        for backend in ("batched", "dict"):
+            seq = parallel_spill_game(
+                cdag, hierarchy, schedule=schedule, backend=backend
+            )
+            assert_same_game(seq, sharded)
+            assert seq.vertical_io == sharded.vertical_io
+
+    def test_instance_disjoint_interleaved_schedule(self):
+        """Criterion A: per-processor components under a schedule that
+        interleaves the components move-burst by move-burst."""
+        cdag = chain_components_cdag(4, 6)
+        hierarchy = MemoryHierarchy.cluster(
+            nodes=2, cores_per_node=2, registers_per_core=4, cache_size=6
+        )
+        assignment = {v: v[1] for v in cdag.vertices}
+        schedule = [("in", k) for k in range(4)]
+        for j in range(6):
+            for k in range(4):
+                schedule.append(("op", k, j))
+        runner = ShardedStrategyRunner(
+            cdag, hierarchy, schedule=schedule,
+            assignment=assignment, workers=4,
+        )
+        plan = runner.plan()
+        # chains 0+1 share node 0's cache, chains 2+3 node 1's.
+        assert plan.num_shards == 2
+        assert plan.criterion == "instance-disjoint"
+        sharded = runner.run()
+        seq = parallel_spill_game(
+            cdag, hierarchy, assignment=assignment, schedule=schedule
+        )
+        assert_same_game(seq, sharded)
+        assert seq.vertical_io == sharded.vertical_io
+
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_start_methods_agree(self, method):
+        """The fork fast path (copy-on-write shared state) and the spawn
+        fallback (pickled payloads) produce the same merged record."""
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"start method {method!r} unavailable")
+        cdag, hierarchy = star_spill_setup(12)
+        seq = parallel_spill_game(cdag, hierarchy)
+        sharded = ShardedStrategyRunner(
+            cdag, hierarchy, workers=2, mp_context=method
+        ).run()
+        assert_same_game(seq, sharded)
+
+    def test_merged_record_replays_end_to_end(self):
+        cdag, hierarchy = star_spill_setup(16)
+        sharded = run_spill_game(cdag, hierarchy, workers=2)
+        replayed = ParallelRBWPebbleGame(cdag, hierarchy).replay(sharded)
+        assert replayed.summary() == sharded.summary()
+        seq = parallel_spill_game(cdag, hierarchy)
+        fresh = ParallelRBWPebbleGame(cdag, hierarchy)
+        fresh.replay(seq)
+        again = ParallelRBWPebbleGame(cdag, hierarchy)
+        again.replay(sharded)
+        assert fresh.pebbles_ids == again.pebbles_ids
+        assert fresh.blue_ids == again.blue_ids
+        assert fresh.white_ids == again.white_ids
+
+
+class TestPlanning:
+    def test_connected_cdag_falls_back_to_sequential(self):
+        cdag = grid_stencil_cdag((6, 6), 2)
+        runner = ShardedStrategyRunner(cdag, 6, workers=4)
+        plan = runner.plan()
+        assert plan.num_shards == 1
+        assert plan.criterion == "unsharded"
+        assert_same_game(spill_game_rbw(cdag, 6), runner.run())
+
+    def test_interleaved_sequential_schedule_stays_fused(self):
+        """The BFS order interleaves chains through one fast memory:
+        criterion B fails, so the planner must refuse to split."""
+        cdag = independent_chains_cdag(8, 5)
+        schedule = topological_schedule(cdag)
+        runner = ShardedStrategyRunner(cdag, 3, schedule=schedule, workers=4)
+        assert runner.plan().num_shards == 1
+        assert_same_game(
+            spill_game_rbw(cdag, 3, schedule=schedule), runner.run()
+        )
+
+    def test_prbw_output_sink_residue_blocks_criterion_b(self):
+        """Output-tagged sinks keep pebbles in the P-RBW loop, so
+        same-instance components must not be split."""
+        cdag = component_forest_cdag(4, 8, seed=0, tag_outputs=True)
+        maxd = max(cdag.in_degree(v) for v in cdag.vertices)
+        hierarchy = MemoryHierarchy.cluster(
+            nodes=1, cores_per_node=1,
+            registers_per_core=maxd + 2, cache_size=maxd + 3,
+        )
+        runner = ShardedStrategyRunner(
+            cdag, hierarchy, schedule=dfs_schedule(cdag), workers=2
+        )
+        plan = runner.plan()
+        assert plan.num_shards == 1  # residue: refuse to split
+        seq = parallel_spill_game(cdag, hierarchy, schedule=dfs_schedule(cdag))
+        assert_same_game(seq, runner.run())
+
+    def test_zero_op_components_ride_along(self):
+        cdag = component_forest_cdag(3, 8, seed=1)
+        lonely = ("lonely", 0)
+        cdag.add_vertex(lonely)
+        cdag.tag_input(lonely)
+        schedule = dfs_schedule(cdag)
+        s = max(cdag.in_degree(v) for v in cdag.vertices) + 2
+        sharded = run_spill_game(cdag, s, schedule=schedule, workers=2)
+        seq = spill_game_rbw(cdag, s, schedule=schedule)
+        assert_same_game(seq, sharded)
+
+    def test_workers_validation(self):
+        cdag = component_forest_cdag(2, 6)
+        for bad in (0, -1, 1.5, "2", True):
+            with pytest.raises(ValueError, match="workers"):
+                run_spill_game(cdag, 4, workers=bad)
+        with pytest.raises(ValueError, match="engine"):
+            run_spill_game(cdag, 4, engine="quantum")
+        with pytest.raises(ValueError, match="policy"):
+            ShardedStrategyRunner(cdag, 4, policy="mru")
+
+    def test_capacity_error_matches_sequential(self):
+        """The global capacity check fires before any pool is spawned,
+        with the sequential loop's error."""
+        cdag = component_forest_cdag(4, 10, seed=2)
+        with pytest.raises(GameError, match="cannot fire"):
+            ShardedStrategyRunner(cdag, 1, schedule=dfs_schedule(cdag),
+                                  workers=2)
+        with pytest.raises(GameError):
+            spill_game_rbw(cdag, 1, schedule=dfs_schedule(cdag))
+
+
+class TestDeterminism:
+    def test_same_seed_same_workers_byte_identical(self):
+        """Seeding contract: the merged column blocks are a pure
+        function of (cdag, schedule, workers) — two runs agree byte for
+        byte regardless of pool scheduling."""
+        runs = []
+        for _ in range(2):
+            cdag = component_forest_cdag(5, 11, seed=7)
+            schedule = dfs_schedule(cdag)
+            s = max(cdag.in_degree(v) for v in cdag.vertices) + 2
+            record = run_spill_game(cdag, s, schedule=schedule, workers=2)
+            runs.append(
+                tuple(col.tobytes() for col in record.log.columns())
+            )
+        assert runs[0] == runs[1]
+
+    def test_seeding_contract_documented(self):
+        assert "byte-identical" in ShardedStrategyRunner.__doc__
+        import repro.pebbling.sharded as sharded_mod
+
+        assert "Determinism contract" in sharded_mod.__doc__
+
+
+class TestShardedSpillOutput:
+    def test_spilled_merged_log_matches_in_ram(self, tmp_path):
+        cdag, hierarchy = star_spill_setup(16)
+        in_ram = run_spill_game(cdag, hierarchy, workers=2)
+        spilled = run_spill_game(
+            cdag, hierarchy, workers=2, spill=str(tmp_path)
+        )
+        assert spilled.log.is_spilled
+        assert_same_game(in_ram, spilled)
+        spilled.log.close()
+
+    def test_sharded_game_through_spilled_redblue_replay(self):
+        cdag = component_forest_cdag(4, 9, seed=5)
+        schedule = dfs_schedule(cdag)
+        s = max(cdag.in_degree(v) for v in cdag.vertices) + 2
+        sharded = run_spill_game(
+            cdag, s, schedule=schedule, workers=2,
+            engine="redblue", spill=True,
+        )
+        replayed = RedBluePebbleGame(cdag, s).replay(sharded)
+        assert replayed.summary() == sharded.summary()
+        sharded.log.close()
+
+
+# ----------------------------------------------------------------------
+# Spill-file lifecycle (satellite: idempotent close + finalize teardown)
+# ----------------------------------------------------------------------
+def _leak_spilled_log(spill_base: str) -> int:
+    """Pool worker: create a spilled log, append, and *never* close it.
+    The weakref.finalize teardown must reclaim the files at exit."""
+    from repro.pebbling.state import OP_LOAD
+
+    log = MoveLog(spill=spill_base, block_size=8)
+    for k in range(100):
+        log.append_ids(OP_LOAD, k)
+    return len(os.listdir(spill_base))
+
+
+class TestSpillTeardown:
+    def test_worker_teardown_leaves_spill_dir_empty(self, tmp_path):
+        """Regression: worker-process shutdown must never leak spill
+        files, even when the worker forgets to close its log."""
+        base = str(tmp_path)
+        with multiprocessing.get_context("fork").Pool(2) as pool:
+            populated = pool.map(_leak_spilled_log, [base] * 4)
+        # While alive, each worker saw its own spill dir in place...
+        assert all(n >= 1 for n in populated)
+        # ...and after pool shutdown the finalizers removed everything.
+        assert os.listdir(base) == []
+
+    def test_close_is_idempotent(self, tmp_path):
+        from repro.pebbling.state import OP_STORE
+
+        log = MoveLog(spill=str(tmp_path), block_size=4)
+        for k in range(10):
+            log.append_ids(OP_STORE, k)
+        spill_dir = log._spill.directory
+        log.close()
+        assert not os.path.isdir(spill_dir)
+        log.close()  # second (and third) close: harmless no-ops
+        log.close()
+        assert not log.is_spilled
+
+    def test_gc_closes_unclosed_log(self, tmp_path):
+        import gc
+
+        from repro.pebbling.state import OP_LOAD
+
+        log = MoveLog(spill=str(tmp_path), block_size=4)
+        for k in range(10):
+            log.append_ids(OP_LOAD, k)
+        spill_dir = log._spill.directory
+        assert os.path.isdir(spill_dir)
+        del log
+        gc.collect()
+        assert not os.path.isdir(spill_dir)
+
+    def test_detach_then_attach_transfers_ownership(self, tmp_path):
+        from repro.pebbling.state import OP_LOAD
+
+        log = MoveLog(spill=str(tmp_path), block_size=4)
+        for k in range(9):
+            log.append_ids(OP_LOAD, k)
+        manifest = log.detach_spill()
+        log.close()  # detached log: close is a no-op on the files
+        assert os.path.isdir(manifest["directory"])
+        attached = MoveLog.attach_spill(manifest)
+        assert len(attached) == 9
+        assert attached.vertex_ids().tolist() == list(range(9))
+        attached.close()
+        assert not os.path.isdir(manifest["directory"])
