@@ -2,7 +2,8 @@
 # CI (.github/workflows/ci.yml) calls these same targets, one per job.
 PY := PYTHONPATH=src python
 
-.PHONY: test test-sharded doctest bench bench-smoke bench-guard lint check
+.PHONY: test test-sharded test-kernel doctest bench bench-smoke \
+  bench-kernel bench-guard lint check
 
 # Tier-1 suite (includes the doctest run over the documented public
 # surface and the ~1 s bench smoke in tests/test_docs_and_bench_smoke.py).
@@ -15,6 +16,14 @@ test:
 test-sharded:
 	$(PY) -m pytest tests/pebbling/test_sharded_strategies.py \
 	  tests/pebbling/test_movelog_merge_properties.py -q
+
+# Kernel-backend differential suites (numpy tier by default; CI's numba
+# matrix arm runs this with numba installed and REPRO_KERNEL=numba so
+# the jitted planner is pinned move-for-move too).
+test-kernel:
+	$(PY) -m pytest tests/pebbling/test_kernel_backend.py \
+	  tests/pebbling/test_spill_strategies.py \
+	  tests/pebbling/test_sharded_strategies.py -q
 
 # Standalone doctest pass over the documented modules.
 doctest:
@@ -30,6 +39,13 @@ bench-smoke:
 # Full core benchmarks; refreshes BENCH_core.json.
 bench:
 	$(PY) -m pytest benchmarks/bench_compiled_core.py -q --benchmark-disable
+
+# Kernel-backend benchmark subset: refreshes only the strategy/kernel_*
+# entries (plus the same-run batched baselines they are measured
+# against) in BENCH_core.json.
+bench-kernel:
+	$(PY) -m pytest benchmarks/bench_compiled_core.py -q -k kernel \
+	  --benchmark-disable
 
 # CI bench-regression guard: smoke-measure into a scratch json and fail
 # on >3x regressions of the movelog/sched/strategy entries.

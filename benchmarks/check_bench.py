@@ -7,9 +7,10 @@ measured ``ns_per_op`` of every guarded entry against the committed
 value and fails on more-than-``THRESHOLD``-fold regressions.
 
 Guarded prefixes: ``movelog/``, ``sched/``, ``strategy/`` (which
-includes the ``strategy/sharded_*`` multiprocess-runner entries) — the
-hot-path numbers the compiled backend, columnar log, and batched/sharded
-strategy loops exist for.  Only keys present in both files are compared
+includes the ``strategy/sharded_*`` multiprocess-runner entries and the
+``strategy/kernel_*`` fused-kernel entries) — the hot-path numbers the
+compiled backend, columnar log, and batched/sharded/kernel strategy
+loops exist for.  Only keys present in both files are compared
 (smoke mode measures the smallest sizes; committed entries at other
 sizes are informational), but every *required group* must overlap in at
 least one key — a refactor that silently stops measuring the sharded
@@ -42,6 +43,7 @@ REQUIRED_GROUPS = (
     "sched/",
     "strategy/",
     "strategy/sharded_",
+    "strategy/kernel_",
 )
 THRESHOLD = float(os.environ.get("BENCH_GUARD_THRESHOLD", "3.0"))
 

@@ -21,9 +21,14 @@ with default parameters.  ``spill`` plays a spill-strategy pebble game
 on a synthetic workload through the unified
 :func:`repro.pebbling.run_spill_game` entry point — ``--workers N``
 shards independent subgames across a process pool and reports the
-merged, move-for-move-canonical record.  The usage block above lists
-every registered subcommand — ``tests/evaluation/test_cli.py`` pins it
-against the parser.
+merged, move-for-move-canonical record, and ``--backend
+{batched,dict,kernel}`` selects the strategy loop (all three play the
+identical game).  With ``--backend kernel`` the ``REPRO_KERNEL``
+environment variable picks the execution tier: ``numpy`` (default),
+``numba`` (jitted planner where numba is installed; degrades to numpy
+otherwise), or ``off`` (fall back to the batched loop).  The usage
+block above lists every registered subcommand —
+``tests/evaluation/test_cli.py`` pins it against the parser.
 """
 
 from __future__ import annotations
@@ -105,6 +110,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--red", type=int, default=4,
                    help="red pebbles for the chains workload")
     p.add_argument("--policy", choices=["lru", "belady"], default="lru")
+    p.add_argument("--backend", choices=["batched", "dict", "kernel"],
+                   default="batched",
+                   help="strategy loop (same game either way); 'kernel' "
+                   "honors the REPRO_KERNEL env var: numpy (default), "
+                   "numba (jitted planner, falls back to numpy when "
+                   "numba is absent), or off (use the batched loop)")
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool shards (1 = sequential)")
     p.add_argument("--spill-log", action="store_true",
@@ -137,6 +148,7 @@ def _run_spill(args: argparse.Namespace) -> str:
         memory,
         schedule=schedule,
         policy=args.policy,
+        backend=args.backend,
         workers=args.workers,
         spill=args.spill_log,
     )
@@ -145,6 +157,7 @@ def _run_spill(args: argparse.Namespace) -> str:
     lines = [
         f"workload      : {args.workload} "
         f"({cdag.num_vertices()} vertices, {cdag.num_edges()} edges)",
+        f"backend       : {args.backend}",
         f"workers       : {args.workers}",
         f"moves         : {summary['moves']}",
         f"io (R1+R2)    : {summary['io']}",

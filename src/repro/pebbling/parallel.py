@@ -539,6 +539,13 @@ class ParallelRBWPebbleGame(CompiledEngineMixin):
         self.reset()
         log = moves.log if isinstance(moves, GameRecord) else moves
         if isinstance(log, MoveLog) and log.is_bound_to(self._c):
+            from .kernel import kernel_mode, replay_parallel_kernel
+
+            # Bulk path: vectorized rule checks + block appends; falls
+            # back to the per-move loop (exact diagnostics) on failure.
+            if kernel_mode() != "off" and replay_parallel_kernel(self, log):
+                self.assert_complete()
+                return self.record
             # One block at a time: spilled logs page in via memmap chunks.
             for kinds, vids, locs, srcs in log.iter_chunks():
                 for code, vid, loc, src in zip(

@@ -251,18 +251,27 @@ class RBWPebbleGame(CompiledEngineMixin):
         self.reset()
         log = moves.log if isinstance(moves, GameRecord) else moves
         if isinstance(log, MoveLog) and log.is_bound_to(self._c):
-            handlers = (
-                self.load_id, self.store_id, self.compute_id, self.delete_id,
-            )
-            # One block at a time: spilled logs page in via memmap chunks
-            # of just the opcode + vertex-id column files.
-            for kinds, vids in log.select_columns("kinds", "vertex_ids"):
-                for code, vid in zip(kinds.tolist(), vids.tolist()):
-                    if code >= len(handlers):
-                        raise GameError(
-                            f"move opcode {code} is not part of the RBW game"
-                        )
-                    handlers[code](vid)
+            from .kernel import kernel_mode, replay_sequential_kernel
+
+            # Bulk path: vectorized rule checks + block appends; falls
+            # back to the per-move loop (exact diagnostics) on failure.
+            if kernel_mode() == "off" or not replay_sequential_kernel(
+                self, log, rbw=True
+            ):
+                handlers = (
+                    self.load_id, self.store_id,
+                    self.compute_id, self.delete_id,
+                )
+                # One block at a time: spilled logs page in via memmap
+                # chunks of just the opcode + vertex-id column files.
+                for kinds, vids in log.select_columns("kinds", "vertex_ids"):
+                    for code, vid in zip(kinds.tolist(), vids.tolist()):
+                        if code >= len(handlers):
+                            raise GameError(
+                                f"move opcode {code} is not part of the "
+                                "RBW game"
+                            )
+                        handlers[code](vid)
         else:
             dispatch = {
                 MoveKind.LOAD: self.load,

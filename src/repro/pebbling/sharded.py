@@ -62,8 +62,10 @@ Usage::
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import shutil
 import tempfile
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -453,8 +455,9 @@ class ShardedStrategyRunner:
         module global and inherited by the pool processes via
         copy-on-write — the multi-million-tuple sub-CDAG edge lists are
         then built *inside* each worker, in parallel, and never pickled
-        through the pool pipe.  (The spawn fallback materializes the
-        per-shard payloads in the parent and ships them whole.)
+        through the pool pipe.  (The spawn fallback serializes each
+        shard's structural payload once — cached across runs — and
+        ships the blob; see :func:`_payload_struct_blob`.)
         """
         c = self._c
         pos = np.empty(c.n, dtype=np.int64)
@@ -512,8 +515,16 @@ class ShardedStrategyRunner:
                 _FORK_STATE = state
                 jobs = list(range(plan.num_shards))
             else:
+                # Spawn fallback: the structural payload is built *and*
+                # pickled once per shard (cached across runs) — each
+                # pool submission then ships a flat bytes blob plus the
+                # small per-run parameter dict, instead of re-walking
+                # the edge lists through the pickler per submission.
                 jobs = [
-                    _materialize_payload(state, idx)
+                    (
+                        _payload_struct_blob(state, idx),
+                        _payload_params(state, idx),
+                    )
                     for idx in range(plan.num_shards)
                 ]
             try:
@@ -586,16 +597,42 @@ class ShardedStrategyRunner:
 _FORK_STATE: Optional[dict] = None
 
 
-def _materialize_payload(state: dict, idx: int) -> dict:
-    """Build shard ``idx``'s self-contained subgame description from the
-    shared state: sub-CDAG edge lists in global insertion order, the
-    restriction of the global schedule, and the strategy parameters.
-    Runs in the worker under ``fork`` (parallel, zero-copy input) and in
-    the parent under ``spawn`` (payloads are then pickled whole)."""
+#: in-process cache of the *structural* part of shard payloads — the
+#: sub-CDAG vertex/edge/io lists and restricted schedule, which dominate
+#: the payload build cost but depend only on (compiled CDAG, shard
+#: split, schedule order), not on per-run strategy parameters.  Keyed by
+#: (id(compiled), num_shards, shard index); entries pin the compiled
+#: object and verify the shard ids + schedule order on every hit, so an
+#: id() collision after GC can never serve stale lists.  Repeated
+#: parameter sweeps over the same CDAG skip the rebuild entirely; under
+#: the ``fork`` start method a warm parent cache is inherited by the
+#: pool workers copy-on-write.
+_payload_struct_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+_PAYLOAD_STRUCT_CACHE_CAP = 64
+
+
+def _payload_struct_entry(state: dict, idx: int) -> list:
+    """The cache entry ``[c, ids, order, struct, blob]`` for shard
+    ``idx``, building (or rebuilding, on a stale hit) the structural
+    payload as needed.  ``blob`` is the struct's pickled form, filled
+    lazily by :func:`_payload_struct_blob` for the spawn path."""
     c = state["c"]
+    ids = state["shard_ids"][idx]
+    pos = state["pos"]
+    id_arr = np.asarray(ids, dtype=np.int64)
+    order = id_arr[np.argsort(pos[id_arr], kind="stable")]
+    key = (id(c), len(state["shard_ids"]), idx)
+    hit = _payload_struct_cache.get(key)
+    if (
+        hit is not None
+        and hit[0] is c
+        and np.array_equal(hit[1], id_arr)
+        and np.array_equal(hit[2], order)
+    ):
+        _payload_struct_cache.move_to_end(key)
+        return hit
     verts_table = c._verts
     pred_lists = state["pred_lists"]
-    ids = state["shard_ids"][idx]
     verts = [verts_table[i] for i in ids]
     # Components are closed under edges, so every predecessor of a shard
     # vertex is a shard vertex — no membership filter needed.
@@ -606,20 +643,46 @@ def _materialize_payload(state: dict, idx: int) -> dict:
     ]
     is_input = c.is_input_mask
     is_output = c.is_output_mask
-    inputs = [verts_table[i] for i in ids if is_input[i]]
-    outputs = [verts_table[i] for i in ids if is_output[i]]
-    pos = state["pos"]
-    id_arr = np.asarray(ids, dtype=np.int64)
-    order = id_arr[np.argsort(pos[id_arr], kind="stable")]
-    schedule = [verts_table[i] for i in order.tolist()]
-    payload = {
-        "index": idx,
+    struct = {
         "verts": verts,
         "edges": edges,
-        "inputs": inputs,
-        "outputs": outputs,
+        "inputs": [verts_table[i] for i in ids if is_input[i]],
+        "outputs": [verts_table[i] for i in ids if is_output[i]],
         "name": f"{state['name']}[shard{idx}]",
-        "schedule": schedule,
+        "schedule": [verts_table[i] for i in order.tolist()],
+    }
+    entry = [c, id_arr, order, struct, None]
+    _payload_struct_cache[key] = entry
+    while len(_payload_struct_cache) > _PAYLOAD_STRUCT_CACHE_CAP:
+        _payload_struct_cache.popitem(last=False)
+    return entry
+
+
+def _payload_struct(state: dict, idx: int) -> dict:
+    """The cached structural payload of shard ``idx`` (see cache note)."""
+    return _payload_struct_entry(state, idx)[3]
+
+
+def _payload_struct_blob(state: dict, idx: int) -> bytes:
+    """Shard ``idx``'s structural payload, serialized exactly once.
+
+    The pickled blob is cached alongside the struct, so repeated spawn
+    runs over the same CDAG/split reuse both the Python lists *and*
+    their serialized form; shipping a ready-made ``bytes`` through the
+    pool pipe is a flat copy instead of a per-submission recursive walk
+    over the multi-million-tuple edge lists."""
+    entry = _payload_struct_entry(state, idx)
+    if entry[4] is None:
+        entry[4] = pickle.dumps(entry[3], protocol=pickle.HIGHEST_PROTOCOL)
+    return entry[4]
+
+
+def _payload_params(state: dict, idx: int) -> dict:
+    """The small, per-run half of shard ``idx``'s payload: strategy
+    parameters plus the handoff directory, which changes every run and
+    must therefore stay out of the structural cache."""
+    params = {
+        "index": idx,
         "engine": state["engine"],
         "policy": state["policy"],
         "backend": state["backend"],
@@ -630,8 +693,19 @@ def _materialize_payload(state: dict, idx: int) -> dict:
     }
     assign_ids = state["assign_ids"]
     if assign_ids is not None:
-        payload["assign"] = [assign_ids[i] for i in ids]
-    return payload
+        params["assign"] = [assign_ids[i] for i in state["shard_ids"][idx]]
+    return params
+
+
+def _materialize_payload(state: dict, idx: int) -> dict:
+    """Build shard ``idx``'s self-contained subgame description from the
+    shared state: sub-CDAG edge lists in global insertion order, the
+    restriction of the global schedule, and the strategy parameters.
+    Runs in the worker under ``fork`` (parallel, structural lists served
+    from the copy-on-write-inherited cache when warm); the ``spawn``
+    path ships the same struct as a pre-pickled blob instead (see
+    :func:`_payload_struct_blob`)."""
+    return {**_payload_struct(state, idx), **_payload_params(state, idx)}
 
 
 def _shard_worker(job) -> dict:
@@ -640,16 +714,18 @@ def _shard_worker(job) -> dict:
     Runs in a pool worker.  ``job`` is either a shard index (``fork``
     start method: the shared state arrives by copy-on-write through
     ``_FORK_STATE`` and the payload is materialized here, in parallel)
-    or a pre-built payload dict (``spawn`` fallback).  The worker plays
-    the requested strategy loop, recording macro-step marks into a
-    spill-backed log under the parent's handoff directory, then
+    or a ``(struct_blob, params)`` pair (``spawn`` fallback: the
+    structural lists arrive as a once-pickled blob, decoded here).  The
+    worker plays the requested strategy loop, recording macro-step marks
+    into a spill-backed log under the parent's handoff directory, then
     *detaches* the log so the column files survive this process and the
     parent can merge them without re-piping the data.
     """
     if isinstance(job, int):
         payload = _materialize_payload(_FORK_STATE, job)
     else:
-        payload = job
+        blob, params = job
+        payload = {**pickle.loads(blob), **params}
     cdag = CDAG.from_edge_list(
         payload["verts"],
         payload["edges"],

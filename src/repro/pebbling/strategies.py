@@ -80,7 +80,7 @@ __all__ = [
 ]
 
 _POLICIES = ("lru", "belady")
-_BACKENDS = ("batched", "dict")
+_BACKENDS = ("batched", "dict", "kernel")
 
 
 @contextmanager
@@ -500,13 +500,20 @@ def spill_game_rbw(
     backend: str = "batched",
     spill=False,
     step_marks: Optional[List[int]] = None,
+    kernel_mode: Optional[str] = None,
 ) -> GameRecord:
     """Play a complete RBW game along ``schedule`` with an LRU/Belady
     spill policy.  Returns the game record (an I/O upper bound).
 
     ``backend="batched"`` (default) uses the lazy-heap hot loop;
     ``backend="dict"`` runs the reference implementation (identical
-    games, pinned by equivalence tests).  ``spill`` forwards to the
+    games, pinned by equivalence tests); ``backend="kernel"`` runs the
+    fused vectorized kernel (:mod:`repro.pebbling.kernel`) — identical
+    moves again, with the rule checks done as bulk numpy passes.
+    ``kernel_mode`` (or the ``REPRO_KERNEL`` environment variable)
+    selects the kernel tier: ``"numpy"`` (default), ``"numba"`` (JIT
+    planner when numba is importable, numpy otherwise), or ``"off"``
+    (fall back to the ``batched`` loop).  ``spill`` forwards to the
     engine's move log (disk-backed columns for very long games).
     ``step_marks`` (a caller-provided list) receives the cumulative log
     length after every fired operation, delimiting each macro-step's
@@ -515,6 +522,17 @@ def spill_game_rbw(
     _validate_policy(policy)
     _validate_backend(backend)
     _validate_num_red(num_red)
+    if backend == "kernel":
+        from .kernel import kernel_mode as _resolve_mode
+        from .kernel import sequential_spill_kernel
+
+        mode = _resolve_mode(kernel_mode)
+        if mode != "off":
+            game = RBWPebbleGame(cdag, num_red, spill=spill)
+            return sequential_spill_kernel(
+                game, cdag, num_red, schedule, policy, step_marks,
+                rbw=True, mode=mode,
+            )
     schedule = list(schedule) if schedule is not None else topological_schedule(cdag)
     game = RBWPebbleGame(cdag, num_red, spill=spill)
     driver = _sequential_spill if backend == "dict" else _sequential_spill_batched
@@ -529,16 +547,29 @@ def spill_game_redblue(
     backend: str = "batched",
     spill=False,
     step_marks: Optional[List[int]] = None,
+    kernel_mode: Optional[str] = None,
 ) -> GameRecord:
     """Play a complete Hong-Kung red-blue game along ``schedule``.
 
     The strategy never recomputes (it spills instead), so its cost is an
     upper bound for both the red-blue and the RBW I/O complexity.  See
-    :func:`spill_game_rbw` for ``backend``, ``spill`` and ``step_marks``.
+    :func:`spill_game_rbw` for ``backend``, ``kernel_mode``, ``spill``
+    and ``step_marks``.
     """
     _validate_policy(policy)
     _validate_backend(backend)
     _validate_num_red(num_red)
+    if backend == "kernel":
+        from .kernel import kernel_mode as _resolve_mode
+        from .kernel import sequential_spill_kernel
+
+        mode = _resolve_mode(kernel_mode)
+        if mode != "off":
+            game = RedBluePebbleGame(cdag, num_red, strict=False, spill=spill)
+            return sequential_spill_kernel(
+                game, cdag, num_red, schedule, policy, step_marks,
+                rbw=False, mode=mode,
+            )
     schedule = list(schedule) if schedule is not None else topological_schedule(cdag)
     game = RedBluePebbleGame(cdag, num_red, strict=False, spill=spill)
     driver = _sequential_spill if backend == "dict" else _sequential_spill_batched
@@ -1065,6 +1096,7 @@ def parallel_spill_game(
     backend: str = "batched",
     spill=False,
     step_marks: Optional[List[int]] = None,
+    kernel_mode: Optional[str] = None,
 ) -> GameRecord:
     """Play a complete P-RBW game with an owner-computes strategy.
 
@@ -1078,12 +1110,24 @@ def parallel_spill_game(
 
     ``backend="batched"`` (default) runs the flat-array + lazy-heap hot
     loop; ``backend="dict"`` runs the reference loop (identical games,
-    pinned by equivalence tests).  ``spill`` forwards to the engine's
-    move log (disk-backed columns for very long games).  ``step_marks``
-    receives the cumulative log length after every fired operation (see
-    :func:`spill_game_rbw`).
+    pinned by equivalence tests); ``backend="kernel"`` memoizes the
+    deterministic default-schedule game per (CDAG, hierarchy shape) and
+    re-validates it with bulk vectorized rule checks on repeat runs (see
+    :mod:`repro.pebbling.kernel`; ``kernel_mode``/``REPRO_KERNEL`` =
+    ``"off"`` falls back to ``batched``).  ``spill`` forwards to the
+    engine's move log (disk-backed columns for very long games).
+    ``step_marks`` receives the cumulative log length after every fired
+    operation (see :func:`spill_game_rbw`).
     """
     _validate_backend(backend)
+    if backend == "kernel":
+        from .kernel import kernel_mode as _resolve_mode
+        from .kernel import parallel_spill_kernel
+
+        if _resolve_mode(kernel_mode) != "off":
+            return parallel_spill_kernel(
+                cdag, hierarchy, assignment, schedule, spill, step_marks
+            )
     schedule, assignment, c = _parallel_spill_prepare(
         cdag, hierarchy, assignment, schedule
     )

@@ -101,3 +101,23 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "moves         : 800" in out
         assert "workers       : 2" in out
+
+    def test_spill_kernel_backend_matches_counts(self, capsys):
+        assert main(["spill", "--workload", "star", "--ops", "16",
+                     "--backend", "kernel"]) == 0
+        out = capsys.readouterr().out
+        assert "moves         : 800" in out
+        assert "backend       : kernel" in out
+
+    def test_spill_help_documents_repro_kernel(self):
+        """--help for the spill subcommand (and the module docstring)
+        document the REPRO_KERNEL execution-tier switch."""
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        spill_help = sub.choices["spill"].format_help()
+        assert "REPRO_KERNEL" in spill_help
+        assert "kernel" in spill_help
+        assert "REPRO_KERNEL" in repro.cli.__doc__

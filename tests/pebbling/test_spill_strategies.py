@@ -123,6 +123,129 @@ class TestParallelBatchedEquivalence:
         assert replayed.summary() == record.summary()
 
 
+class TestKernelBackendEquivalence:
+    """Tentpole: the fused vectorized kernel backend must reproduce the
+    batched and dict loops *move for move* — same columns, same
+    counters, same macro-step marks — on sequential and parallel games.
+    """
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("policy", ["lru", "belady"])
+    @pytest.mark.parametrize("spill", [spill_game_rbw, spill_game_redblue])
+    def test_random_irregular_cdags(self, seed, policy, spill, random_dag):
+        cdag = random_dag(seed, 40)
+        s = max(cdag.in_degree(v) for v in cdag.vertices) + 2
+        kern = spill(cdag, s, policy=policy, backend="kernel")
+        assert_same_game(
+            spill(cdag, s, policy=policy, backend="dict"), kern
+        )
+        assert_same_game(
+            spill(cdag, s, policy=policy, backend="batched"), kern
+        )
+
+    @pytest.mark.parametrize("policy", ["lru", "belady"])
+    def test_eviction_ties_match_batched(self, policy):
+        """Tied LRU/Belady victims resolve to the lowest vertex id in
+        the kernel planner exactly as in the reference loops."""
+        verts = [("a", 0), ("a", 1), ("x",), ("b", 0), ("b", 1), ("y",)]
+        edges = [
+            (("a", 0), ("x",)), (("a", 1), ("x",)),
+            (("b", 0), ("y",)), (("b", 1), ("y",)),
+        ]
+        cdag = CDAG.from_edge_list(
+            verts, edges,
+            inputs=[("a", 0), ("a", 1), ("b", 0), ("b", 1)],
+            outputs=[("x",), ("y",)],
+            name="ties",
+        )
+        assert_same_game(
+            spill_game_rbw(cdag, 3, policy=policy, backend="batched"),
+            spill_game_rbw(cdag, 3, policy=policy, backend="kernel"),
+        )
+
+    def test_single_red_pebble_zero_operand_ops(self):
+        cdag = CDAG.from_edge_list(
+            [("v", 0)], [], inputs=[], outputs=[("v", 0)], name="one"
+        )
+        assert_same_game(
+            spill_game_rbw(cdag, 1, backend="batched"),
+            spill_game_rbw(cdag, 1, backend="kernel"),
+        )
+
+    def test_single_red_pebble_rejected_when_ops_have_operands(self):
+        with pytest.raises(GameError, match="cannot fire"):
+            spill_game_rbw(chain_cdag(3), 1, backend="kernel")
+
+    def test_spill_then_reload_round_trip(self):
+        """Evicted live values come back via R1 in the kernel path too,
+        and the produced log passes a full per-move engine replay."""
+        cdag = independent_chains_cdag(12, 6)
+        record = spill_game_rbw(cdag, 4, backend="kernel")
+        assert_same_game(
+            spill_game_rbw(cdag, 4, backend="batched"), record
+        )
+        assert record.counts[MoveKind.LOAD] > 12
+        replayed = RBWPebbleGame(cdag, 4).replay(record)
+        assert replayed.summary() == record.summary()
+
+    def test_step_marks_match_batched(self):
+        cdag = independent_chains_cdag(8, 5)
+        marks_ref, marks_ker = [], []
+        spill_game_rbw(cdag, 4, backend="batched", step_marks=marks_ref)
+        spill_game_rbw(cdag, 4, backend="kernel", step_marks=marks_ker)
+        assert marks_ref == marks_ker
+
+    def test_decision_cache_second_run_identical(self):
+        """The second kernel run over the same (CDAG, policy, S) serves
+        memoized planner decisions — and must stay move-for-move equal."""
+        cdag = grid_stencil_cdag((7,), 5)
+        first = spill_game_rbw(cdag, 4, backend="kernel")
+        second = spill_game_rbw(cdag, 4, backend="kernel")
+        assert_same_game(first, second)
+        assert_same_game(spill_game_rbw(cdag, 4, backend="batched"), second)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_parallel_random_clusters(self, seed, random_dag):
+        cdag = random_dag(seed, 35)
+        maxd = max(cdag.in_degree(v) for v in cdag.vertices)
+        hierarchy = MemoryHierarchy.cluster(
+            nodes=2,
+            cores_per_node=2,
+            registers_per_core=maxd + 2,
+            cache_size=2 * maxd + 4,
+        )
+        a = parallel_spill_game(cdag, hierarchy, backend="batched")
+        b = parallel_spill_game(cdag, hierarchy, backend="kernel")
+        assert_same_game(a, b)
+        assert a.vertical_io == b.vertical_io
+        assert a.horizontal_io == b.horizontal_io
+        assert a.compute_per_processor == b.compute_per_processor
+
+    def test_parallel_tiny_caches_warm_run(self):
+        """Cache-level evictions agree, and the warm (memoized) second
+        run replays the same validated columns."""
+        cdag = grid_stencil_cdag((5, 5), 2)
+        hierarchy = MemoryHierarchy.cluster(
+            nodes=4, cores_per_node=1, registers_per_core=8, cache_size=9
+        )
+        ref = parallel_spill_game(cdag, hierarchy, backend="batched")
+        cold = parallel_spill_game(cdag, hierarchy, backend="kernel")
+        warm = parallel_spill_game(cdag, hierarchy, backend="kernel")
+        for got in (cold, warm):
+            assert_same_game(ref, got)
+            assert ref.vertical_io == got.vertical_io
+        replayed = ParallelRBWPebbleGame(cdag, hierarchy).replay(warm)
+        assert replayed.summary() == ref.summary()
+
+    def test_spilled_kernel_game_matches_in_ram(self):
+        cdag = grid_stencil_cdag((6,), 4)
+        in_ram = spill_game_rbw(cdag, 4, backend="kernel")
+        spilled = spill_game_rbw(cdag, 4, backend="kernel", spill=True)
+        assert spilled.log.is_spilled
+        assert_same_game(in_ram, spilled)
+        spilled.log.close()
+
+
 class TestStrategyEdgeCases:
     def test_lru_eviction_tie_broken_by_lowest_id(self):
         """Operands of one operation share a touch clock: the later
