@@ -2,8 +2,8 @@
 # CI (.github/workflows/ci.yml) calls these same targets, one per job.
 PY := PYTHONPATH=src python
 
-.PHONY: test test-sharded test-kernel doctest bench bench-smoke \
-  bench-kernel bench-guard lint check
+.PHONY: test test-sharded test-kernel test-harness doctest bench \
+  bench-smoke bench-kernel bench-guard lint check
 
 # Tier-1 suite (includes the doctest run over the documented public
 # surface and the ~1 s bench smoke in tests/test_docs_and_bench_smoke.py).
@@ -24,6 +24,17 @@ test-kernel:
 	$(PY) -m pytest tests/pebbling/test_kernel_backend.py \
 	  tests/pebbling/test_spill_strategies.py \
 	  tests/pebbling/test_sharded_strategies.py -q
+
+# Manifest-driven harness suites: the crash/resume differential test
+# (SIGKILL a 4-cell smoke grid mid-run, resume, byte-compare against an
+# uninterrupted run), the manifest/resume hypothesis property suite,
+# the `repro reproduce` end-to-end pass (incl. injected corruption),
+# and the seed-identity audit.
+test-harness:
+	$(PY) -m pytest tests/evaluation/test_harness_resume.py \
+	  tests/evaluation/test_manifest_properties.py \
+	  tests/evaluation/test_reproduce.py \
+	  tests/evaluation/test_harness_seeds.py -q
 
 # Standalone doctest pass over the documented modules.
 doctest:

@@ -20,10 +20,21 @@ and noisier than the reference container: the guard catches algorithmic
 regressions (accidental O(n) scans, dropped caches), not percent-level
 noise.
 
+The committed ``BENCH_core.json`` is a **derived view** over the bench
+run store (``benchmarks/runs/``, see ``benchmarks/conftest.py``): it
+carries a top-level ``view`` key naming the run directory its entries
+were last derived from, which the guard prints for provenance.  The
+baseline can also be read straight from a run store: point
+``BENCH_BASELINE`` at either an alternate view JSON or a run-store
+directory (the newest committed run's ``metrics.jsonl`` becomes the
+baseline), e.g. to guard against a locally recorded trajectory instead
+of the committed snapshot.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_bench.py
     BENCH_GUARD_THRESHOLD=5 PYTHONPATH=src python benchmarks/check_bench.py
+    BENCH_BASELINE=benchmarks/runs PYTHONPATH=src python benchmarks/check_bench.py
 """
 
 import json
@@ -52,6 +63,9 @@ def run_smoke(out_json: Path) -> None:
     env = dict(os.environ)
     env["BENCH_SMOKE"] = "1"
     env["BENCH_JSON"] = str(out_json)
+    # keep the guard side-effect free: its scratch measurement must not
+    # append a run to the real bench run store either
+    env["BENCH_RUNS"] = str(out_json.parent / "runs")
     env["PYTHONPATH"] = (
         str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
     ).rstrip(os.pathsep)
@@ -68,9 +82,55 @@ def load_results(path: Path) -> dict:
     return json.loads(path.read_text()).get("results", {})
 
 
+def results_from_run_store(root: Path) -> dict:
+    """Baseline entries from the newest committed run directory of a
+    bench run store (harness protocol: only directories with a
+    ``summary.json`` commit marker count; ``metrics.jsonl`` rows are
+    ``{"name": ..., "ns_per_op": ..., ...}``)."""
+    runs = sorted(
+        d for d in root.iterdir()
+        if d.is_dir() and (d / "summary.json").exists()
+    )
+    if not runs:
+        raise FileNotFoundError(f"no committed bench runs under {root}")
+    latest = runs[-1]
+    results = {}
+    for line in (latest / "metrics.jsonl").read_text().splitlines():
+        if not line.strip():
+            continue
+        row = json.loads(line)
+        results[row.pop("name")] = row
+    print(f"baseline: run store {root} (newest run: {latest.name})")
+    return results
+
+
+def load_baseline() -> dict:
+    """The committed baseline — ``BENCH_core.json`` by default, or
+    whatever ``BENCH_BASELINE`` points at (a view JSON or a run-store
+    directory).  Prints the derived-view provenance when present."""
+    override = os.environ.get("BENCH_BASELINE", "")
+    path = Path(override) if override else COMMITTED
+    if path.is_dir():
+        return results_from_run_store(path)
+    if not path.exists():
+        raise FileNotFoundError(f"baseline {path} is missing")
+    data = json.loads(path.read_text())
+    view = data.get("view")
+    if view:
+        print(
+            f"baseline: {path} (derived view over "
+            f"{view.get('store', '?')}, run {view.get('run', '?')})"
+        )
+    else:
+        print(f"baseline: {path}")
+    return data.get("results", {})
+
+
 def main() -> int:
-    if not COMMITTED.exists():
-        print(f"error: committed baseline {COMMITTED} is missing")
+    try:
+        committed = load_baseline()
+    except FileNotFoundError as exc:
+        print(f"error: {exc}")
         return 2
     with tempfile.TemporaryDirectory(prefix="bench-guard-") as tmp:
         fresh_json = Path(tmp) / "BENCH_fresh.json"
@@ -79,7 +139,6 @@ def main() -> int:
             print("error: smoke run recorded no benchmark results")
             return 2
         fresh = load_results(fresh_json)
-    committed = load_results(COMMITTED)
 
     rows = []
     failures = []

@@ -126,6 +126,58 @@ def bench_timer():
     return time_ns_per_op
 
 
+def _record_run_store():
+    """Persist this session's recorded entries as one run directory in
+    the bench run store (``BENCH_RUNS``, default ``benchmarks/runs/``),
+    following the harness run-directory protocol (``manifest.json`` +
+    ``metrics.jsonl`` + ``summary.json``) — ``BENCH_core.json`` then
+    carries a ``view`` key naming the run it was derived from, so the
+    committed flat dict is an auditable view over a trajectory of runs
+    rather than the only record.  Returns the provenance dict, or
+    ``None`` when the repro package is not importable (plain pytest
+    invocation without PYTHONPATH=src)."""
+    try:
+        from repro.evaluation.manifest import (
+            SCHEMA_VERSION,
+            append_metrics_row,
+            build_manifest,
+            summarize_rows,
+            write_manifest,
+            write_summary,
+        )
+    except ImportError:  # pragma: no cover - bare invocation
+        return None
+    root = Path(
+        os.environ.get("BENCH_RUNS", "")
+        or Path(__file__).resolve().parent / "runs"
+    )
+    label = time.strftime("bench-%Y%m%dT%H%M%S", time.gmtime())
+    label += f"-pid{os.getpid()}"
+    run_dir = root / label
+    run_dir.mkdir(parents=True, exist_ok=True)
+    params = {"smoke": smoke_mode(), "entries": sorted(_BENCH_RESULTS)}
+    manifest = build_manifest("bench", params, 0, label)
+    write_manifest(run_dir, manifest)
+    rows = [
+        {"name": name, **entry}
+        for name, entry in sorted(_BENCH_RESULTS.items())
+    ]
+    for row in rows:
+        append_metrics_row(run_dir, row)
+    write_summary(
+        run_dir,
+        {
+            "schema": SCHEMA_VERSION,
+            "experiment": "bench",
+            "label": label,
+            "seed": 0,
+            "config_hash": manifest["config_hash"],
+            **summarize_rows(rows),
+        },
+    )
+    return {"schema": "bench-view/1", "run": label, "store": str(root)}
+
+
 def pytest_sessionfinish(session):
     if not _BENCH_RESULTS:
         return
@@ -136,11 +188,10 @@ def pytest_sessionfinish(session):
         except (ValueError, OSError):  # pragma: no cover - corrupt file
             merged = {}
     merged.update(_BENCH_RESULTS)
+    payload = {"results": dict(sorted(merged.items()))}
+    view = _record_run_store()
+    if view is not None:
+        payload["view"] = view
     _BENCH_JSON.write_text(
-        json.dumps(
-            {"results": dict(sorted(merged.items()))},
-            indent=2,
-            sort_keys=True,
-        )
-        + "\n"
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )

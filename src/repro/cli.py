@@ -12,6 +12,9 @@ Usage::
     python -m repro.cli distsim --nodes 4 --cache 64
     python -m repro.cli balance
     python -m repro.cli spill --workload star --ops 2000 --workers 2
+    python -m repro.cli sweep --out results --grid smoke --resume
+    python -m repro.cli reproduce results
+    python -m repro.cli bench-view results --out BENCH_core.json
     python -m repro.cli all
 
 Each subcommand runs the corresponding experiment driver from
@@ -26,8 +29,18 @@ merged, move-for-move-canonical record, and ``--backend
 identical game).  With ``--backend kernel`` the ``REPRO_KERNEL``
 environment variable picks the execution tier: ``numpy`` (default),
 ``numba`` (jitted planner where numba is installed; degrades to numpy
-otherwise), or ``off`` (fall back to the batched loop).  The usage
-block above lists every registered subcommand —
+otherwise), or ``off`` (fall back to the batched loop).
+
+``sweep`` executes a declarative experiment grid through the
+manifest-driven harness (:mod:`repro.evaluation.harness`): one result
+directory per cell with ``manifest.json`` / ``metrics.jsonl`` /
+``summary.json``, where ``--resume`` skips committed cells whose config
+hash matches and sweeps + re-runs stale or partial ones.  ``reproduce``
+replays every manifest in a results store and verifies the regenerated
+rows against the stored artifacts within per-metric tolerances (nonzero
+exit naming each failing cell).  ``bench-view`` derives a
+``BENCH_core.json``-style view over a results store.  The usage block
+above lists every registered subcommand —
 ``tests/evaluation/test_cli.py`` pins it against the parser.
 """
 
@@ -121,6 +134,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--spill-log", action="store_true",
                    help="record into a disk-spilled move log")
 
+    p = sub.add_parser(
+        "sweep",
+        help="run a declarative experiment grid into a results store "
+        "(manifest.json + metrics.jsonl + summary.json per cell)",
+    )
+    p.add_argument("--out", default="results",
+                   help="results root directory (default: results)")
+    p.add_argument("--grid", choices=["default", "smoke"], default="default",
+                   help="named grid: 'default' = all nine experiments plus "
+                   "the spill axes, 'smoke' = the tiny 4-cell CI grid")
+    p.add_argument("--grid-file", default=None,
+                   help="JSON grid file (list of cell objects); overrides "
+                   "--grid")
+    p.add_argument("--experiments", nargs="+", default=None,
+                   help="keep only cells of these experiment keys "
+                   "(e1..e9, spill)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="grid seed, recorded in every manifest")
+    p.add_argument("--resume", action="store_true",
+                   help="skip committed cells whose config hash matches; "
+                   "sweep and re-run stale or partial cells")
+
+    p = sub.add_parser(
+        "reproduce",
+        help="replay every manifest in a results store and verify the "
+        "regenerated rows within per-metric tolerances",
+    )
+    p.add_argument("results_dir", nargs="?", default="results",
+                   help="results root written by 'sweep'")
+
+    p = sub.add_parser(
+        "bench-view",
+        help="derive a BENCH_core.json-style view over a results store",
+    )
+    p.add_argument("results_dir", nargs="?", default="results")
+    p.add_argument("--out", default=None,
+                   help="merge the derived harness/* entries into this "
+                   "JSON file (default: print to stdout)")
+
     sub.add_parser("all", help="run every experiment with default parameters")
     return parser
 
@@ -172,6 +224,52 @@ def _run_spill(args: argparse.Namespace) -> str:
     return "Spill-strategy game\n" + "\n".join(
         "  " + line for line in lines
     )
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    """The ``sweep`` subcommand: execute a grid through the harness."""
+    from .evaluation.harness import GRIDS, load_grid_file, run_grid
+
+    if args.grid_file:
+        specs = load_grid_file(args.grid_file, seed=args.seed)
+    else:
+        specs = GRIDS[args.grid](args.seed)
+    if args.experiments:
+        keep = set(args.experiments)
+        specs = [s for s in specs if s.experiment in keep]
+        if not specs:
+            print(f"no grid cells match experiments {sorted(keep)}")
+            return 2
+    run_grid(specs, args.out, resume=args.resume)
+    return 0
+
+
+def _run_reproduce(args: argparse.Namespace) -> int:
+    """The ``reproduce`` subcommand: nonzero exit names failing cells."""
+    from .evaluation.harness import reproduce
+
+    failures = reproduce(args.results_dir)
+    if failures:
+        names = ", ".join(f.label for f in failures)
+        print(f"reproduce FAILED for cell(s): {names}")
+        return 1
+    return 0
+
+
+def _run_bench_view(args: argparse.Namespace) -> int:
+    """The ``bench-view`` subcommand: derived BENCH-style view."""
+    from .evaluation.manifest import dumps_canonical
+    from .evaluation.harness import bench_view, write_bench_view
+
+    if args.out:
+        payload = write_bench_view(args.results_dir, args.out)
+        print(
+            f"merged {len(payload['results'])} entries into {args.out} "
+            f"(derived from {args.results_dir})"
+        )
+    else:
+        print(dumps_canonical(bench_view(args.results_dir)), end="")
+    return 0
 
 
 def _run_one(name: str, args: argparse.Namespace) -> str:
@@ -233,6 +331,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "sweep":
+        return _run_sweep(args)
+    if args.command == "reproduce":
+        return _run_reproduce(args)
+    if args.command == "bench-view":
+        return _run_bench_view(args)
     if args.command == "all":
         defaults = build_parser()
         for name in ("table1", "composite", "cg", "gmres", "jacobi",

@@ -1,4 +1,13 @@
-"""Evaluation harness: drivers reproducing the paper's tables and analyses."""
+"""Evaluation harness: drivers reproducing the paper's tables and analyses.
+
+Two layers:
+
+* :mod:`repro.evaluation.experiments` — the nine ad-hoc drivers
+  (E1-E9) plus the spill-strategy game driver, directly callable;
+* :mod:`repro.evaluation.harness` / :mod:`repro.evaluation.manifest` —
+  the manifest-driven sweep runner (declarative grids, per-run result
+  directories, ``--resume``, ``reproduce``) layered on top.
+"""
 
 from .experiments import (
     experiment_balance_conditions,
@@ -9,7 +18,23 @@ from .experiments import (
     experiment_gmres_bounds,
     experiment_jacobi_bounds,
     experiment_matmul_bounds,
+    experiment_spill_strategies,
     experiment_table1_machines,
+)
+from .harness import (
+    GRIDS,
+    REGISTRY,
+    RunSpec,
+    bench_view,
+    default_grid,
+    load_grid_file,
+    make_spec,
+    plan_resume,
+    reproduce,
+    run_grid,
+    scan_results_root,
+    smoke_grid,
+    write_bench_view,
 )
 from .report import format_table, format_value, render_report
 
@@ -22,8 +47,22 @@ __all__ = [
     "experiment_gmres_bounds",
     "experiment_jacobi_bounds",
     "experiment_matmul_bounds",
+    "experiment_spill_strategies",
     "experiment_table1_machines",
     "format_table",
     "format_value",
     "render_report",
+    "GRIDS",
+    "REGISTRY",
+    "RunSpec",
+    "bench_view",
+    "default_grid",
+    "load_grid_file",
+    "make_spec",
+    "plan_resume",
+    "reproduce",
+    "run_grid",
+    "scan_results_root",
+    "smoke_grid",
+    "write_bench_view",
 ]

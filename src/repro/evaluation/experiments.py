@@ -19,6 +19,21 @@ Experiments
 * E7 — Bound-machinery validation: LB <= OPT <= UB sandwiches on small CDAGs.
 * E8 — Simulated-cluster measurements vs the parallel bounds.
 * E9 — Balance-condition sweep across algorithms x machines x levels.
+* Spill — strategy pebble games on synthetic workloads (the
+  ``workload x policy x backend x workers`` axes of the harness grid).
+
+Seeds
+-----
+E1-E9 are deterministic given their parameters (fixed CDAG builders,
+exhaustive/closed-form bounds, simulated cluster).  The only randomized
+construction reachable from a driver is the ``forest`` workload of
+:func:`experiment_spill_strategies`, which builds
+:func:`~repro.pebbling.workloads.component_forest_cdag` from an
+**explicit** ``seed`` argument and records it in its rows — the
+manifest-driven harness (:mod:`repro.evaluation.harness`) additionally
+records the seed of every cell, and
+``tests/evaluation/test_harness_seeds.py`` pins that two same-seed runs
+produce byte-identical ``metrics.jsonl``.
 """
 
 from __future__ import annotations
@@ -67,6 +82,7 @@ __all__ = [
     "experiment_bound_validation",
     "experiment_distsim_parallel",
     "experiment_balance_conditions",
+    "experiment_spill_strategies",
 ]
 
 
@@ -437,3 +453,94 @@ def experiment_balance_conditions(
                 }
             )
     return rows
+
+
+# ----------------------------------------------------------------------
+# Spill-strategy games (harness grid axes: workload x policy x backend
+# x workers)
+# ----------------------------------------------------------------------
+def experiment_spill_strategies(
+    workload: str = "star",
+    ops: int = 64,
+    degree: int = 8,
+    chains: int = 8,
+    length: int = 16,
+    num_red: int = 4,
+    components: int = 4,
+    component_size: int = 12,
+    policy: str = "lru",
+    backend: str = "batched",
+    workers: int = 1,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Play one complete spill-strategy game and report its move/I/O row.
+
+    This is the driver behind the harness's spill cells: every strategy
+    axis (``policy``, ``backend`` incl. ``kernel``, ``workers`` incl.
+    the sharded multiprocess runner) is a first-class parameter, so one
+    grid sweeps the whole strategy engine.  Workloads:
+
+    * ``"star"`` — owner-computes P-RBW hierarchy walk
+      (:func:`~repro.pebbling.workloads.star_spill_setup`);
+    * ``"chains"`` — LRU-thrashing interleaved chains under ``num_red``
+      red pebbles (:func:`~repro.pebbling.workloads.chains_spill_setup`);
+    * ``"forest"`` — seeded random component forest
+      (:func:`~repro.pebbling.workloads.component_forest_cdag`); the
+      **only randomized workload**, constructed from the explicit
+      ``seed`` (recorded in the row) so identical seeds replay the
+      identical game.
+    """
+    from ..core.ordering import dfs_schedule
+    from ..pebbling.sharded import run_spill_game
+    from ..pebbling.workloads import (
+        chains_spill_setup,
+        component_forest_cdag,
+        star_spill_setup,
+    )
+
+    if workload == "star":
+        cdag, memory = star_spill_setup(ops, degree)
+        schedule = None
+    elif workload == "chains":
+        cdag, memory = chains_spill_setup(chains, length, num_red)
+        # Chain-major (DFS) order keeps each chain contiguous, which is
+        # what lets the sharded runner split the shared fast memory.
+        schedule = dfs_schedule(cdag)
+    elif workload == "forest":
+        cdag = component_forest_cdag(components, component_size, seed=seed)
+        # Random components can exceed num_red's operand capacity; the
+        # engine needs room for a vertex's operands plus its result.
+        max_indeg = max(
+            (cdag.in_degree(v) for v in cdag.vertices if not cdag.is_input(v)),
+            default=0,
+        )
+        memory = max(num_red, max_indeg + 1)
+        schedule = dfs_schedule(cdag)
+    else:
+        raise ValueError(
+            f"workload must be 'star', 'chains' or 'forest', got {workload!r}"
+        )
+    record = run_spill_game(
+        cdag,
+        memory,
+        schedule=schedule,
+        policy=policy,
+        backend=backend,
+        workers=workers,
+    )
+    summary = record.summary()
+    return [
+        {
+            "workload": workload,
+            "policy": policy,
+            "backend": backend,
+            "workers": workers,
+            "seed": seed,
+            "num_vertices": cdag.num_vertices(),
+            "num_edges": cdag.num_edges(),
+            "moves": summary["moves"],
+            "io": summary["io"],
+            "vertical_io": summary["vertical_io"],
+            "horizontal_io": summary["horizontal_io"],
+        }
+    ]

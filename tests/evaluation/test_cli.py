@@ -18,7 +18,7 @@ class TestParser:
         parser = build_parser()
         for cmd in ("table1", "composite", "cg", "gmres", "jacobi",
                     "matmul", "validate", "distsim", "balance", "spill",
-                    "all"):
+                    "sweep", "reproduce", "bench-view", "all"):
             args = parser.parse_args([cmd])
             assert args.command == cmd
 
@@ -32,7 +32,7 @@ class TestParser:
         )
         registered = set(sub.choices)
         documented = set(
-            re.findall(r"python -m repro\.cli (\w+)", repro.cli.__doc__)
+            re.findall(r"python -m repro\.cli ([\w-]+)", repro.cli.__doc__)
         )
         assert documented == registered
         help_text = parser.format_help()
@@ -108,6 +108,35 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "moves         : 800" in out
         assert "backend       : kernel" in out
+
+    def test_sweep_smoke_resume_and_reproduce(self, tmp_path, capsys):
+        """The harness subcommands end to end: sweep a smoke grid,
+        resume it (zero cells), reproduce it, derive a bench view."""
+        out = tmp_path / "results"
+        assert main(["sweep", "--out", str(out), "--grid", "smoke"]) == 0
+        assert "executed 4 cell(s), skipped 0" in capsys.readouterr().out
+        assert main(
+            ["sweep", "--out", str(out), "--grid", "smoke", "--resume"]
+        ) == 0
+        assert "executed 0 cell(s), skipped 4" in capsys.readouterr().out
+        assert main(["reproduce", str(out)]) == 0
+        assert "4/4" in capsys.readouterr().out
+        view = tmp_path / "view.json"
+        assert main(
+            ["bench-view", str(out), "--out", str(view)]
+        ) == 0
+        import json
+
+        results = json.loads(view.read_text())["results"]
+        assert any(k.startswith("harness/") for k in results)
+
+    def test_sweep_experiment_filter(self, tmp_path, capsys):
+        out = tmp_path / "results"
+        assert main(["sweep", "--out", str(out), "--grid", "smoke",
+                     "--experiments", "e2"]) == 0
+        assert "executed 1 cell(s)" in capsys.readouterr().out
+        assert main(["sweep", "--out", str(out), "--grid", "smoke",
+                     "--experiments", "nope"]) == 2
 
     def test_spill_help_documents_repro_kernel(self):
         """--help for the spill subcommand (and the module docstring)

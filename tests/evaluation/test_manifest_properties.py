@@ -1,0 +1,283 @@
+"""Hypothesis property suite for the manifest/harness layer.
+
+Pins the three contracts the resume machinery stands on:
+
+* **Manifest round-trip** — ``config -> manifest -> config`` is the
+  identity on canonical configs (tuples/lists and numpy scalars
+  normalize; nothing else changes through JSON).
+* **Hash stability** — ``config_hash`` is invariant under dict key
+  reordering and tuple/list spelling, and changes when the config
+  actually changes.
+* **Resume planning** — :func:`repro.evaluation.harness.plan_resume`
+  is a pure function of (existing dirs x requested grid): complete
+  matching cells skip, stale-config and partial cells re-run, absent
+  cells run, and a fully-committed matching grid executes zero cells.
+
+Plus the tolerance semantics used by ``reproduce``.
+"""
+
+import json
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.evaluation.harness import (  # noqa: E402
+    CellState,
+    RunSpec,
+    plan_resume,
+)
+from repro.evaluation.manifest import (  # noqa: E402
+    build_manifest,
+    canonical_config,
+    compare_summaries,
+    config_hash,
+    dumps_canonical,
+    summarize_rows,
+    within_tolerance,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False, width=64)
+    | st.text(max_size=8)
+)
+_values = st.recursive(
+    _scalars,
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=6), children, max_size=4),
+    max_leaves=12,
+)
+_configs = st.dictionaries(st.text(min_size=1, max_size=8), _values, max_size=6)
+
+
+# ----------------------------------------------------------------------
+# Manifest round-trip
+# ----------------------------------------------------------------------
+class TestManifestRoundTrip:
+    @given(config=_configs, seed=st.integers(0, 2**31))
+    def test_config_survives_json_round_trip(self, config, seed):
+        canon = canonical_config(config)
+        assert canonical_config(json.loads(json.dumps(canon))) == canon
+
+    @given(config=_configs, seed=st.integers(0, 2**31))
+    def test_manifest_round_trips_params_and_seed(self, config, seed):
+        manifest = build_manifest(
+            "e2", config, seed, "cell", provenance={"git_sha": "x"}
+        )
+        back = json.loads(dumps_canonical(manifest))
+        assert back["params"] == canonical_config(config)
+        assert back["seed"] == seed
+        assert back["experiment"] == "e2"
+        assert back["config_hash"] == config_hash("e2", config, seed)
+
+    def test_tuples_normalize_to_lists(self):
+        assert canonical_config({"a": (1, 2, (3,))}) == {"a": [1, 2, [3]]}
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_config({1: "x"})
+
+    def test_non_finite_floats_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_config({"a": float("nan")})
+
+
+# ----------------------------------------------------------------------
+# Hash stability
+# ----------------------------------------------------------------------
+class TestHashStability:
+    @given(
+        items=st.lists(
+            st.tuples(st.text(min_size=1, max_size=8), _values),
+            max_size=6,
+            unique_by=lambda kv: kv[0],
+        ),
+        seed=st.integers(0, 2**31),
+        data=st.data(),
+    )
+    def test_key_reordering_preserves_hash(self, items, seed, data):
+        perm = data.draw(st.permutations(items))
+        assert config_hash("e5", dict(items), seed) == config_hash(
+            "e5", dict(perm), seed
+        )
+
+    @given(config=_configs, seed=st.integers(0, 2**31))
+    def test_added_key_changes_hash(self, config, seed):
+        changed = dict(config)
+        changed["__fresh_key__"] = 1
+        assert config_hash("e5", config, seed) != config_hash(
+            "e5", changed, seed
+        )
+
+    @given(config=_configs, seed=st.integers(0, 2**31 - 1))
+    def test_seed_and_experiment_are_part_of_identity(self, config, seed):
+        base = config_hash("e5", config, seed)
+        assert base != config_hash("e5", config, seed + 1)
+        assert base != config_hash("e6", config, seed)
+
+    def test_tuple_and_list_spellings_agree(self):
+        assert config_hash("e2", {"sizes": (4, 8)}, 0) == config_hash(
+            "e2", {"sizes": [4, 8]}, 0
+        )
+
+
+# ----------------------------------------------------------------------
+# Resume planning as a pure function
+# ----------------------------------------------------------------------
+_MATCH, _MISMATCH, _PARTIAL, _ABSENT = "match", "mismatch", "partial", "absent"
+
+
+def _spec(label: str, i: int) -> RunSpec:
+    return RunSpec("e2", {"sizes": [i + 1]}, seed=0, label=label)
+
+
+@st.composite
+def _grids_with_state(draw):
+    labels = draw(
+        st.lists(
+            st.text(
+                alphabet="abcdefgh", min_size=1, max_size=6
+            ),
+            min_size=1,
+            max_size=8,
+            unique=True,
+        )
+    )
+    specs = [_spec(label, i) for i, label in enumerate(labels)]
+    kinds = {
+        label: draw(
+            st.sampled_from([_MATCH, _MISMATCH, _PARTIAL, _ABSENT])
+        )
+        for label in labels
+    }
+    existing = {}
+    for spec in specs:
+        kind = kinds[spec.label]
+        if kind == _ABSENT:
+            continue
+        if kind == _PARTIAL:
+            existing[spec.label] = CellState(has_summary=False)
+        elif kind == _MATCH:
+            existing[spec.label] = CellState(
+                has_summary=True, config_hash=spec.hash()
+            )
+        else:
+            existing[spec.label] = CellState(
+                has_summary=True, config_hash="0" * 64
+            )
+    return specs, existing, kinds
+
+
+class TestResumePlanning:
+    @given(_grids_with_state())
+    def test_decisions_partition_the_grid(self, grid):
+        specs, existing, kinds = grid
+        plan = plan_resume(specs, existing)
+        assert sorted(plan.run + plan.skip + plan.stale + plan.partial) == (
+            sorted(s.label for s in specs)
+        )
+        for spec in specs:
+            kind = kinds[spec.label]
+            if kind == _ABSENT:
+                assert spec.label in plan.run
+            elif kind == _PARTIAL:
+                assert spec.label in plan.partial
+            elif kind == _MATCH:
+                assert spec.label in plan.skip
+            else:
+                assert spec.label in plan.stale
+
+    @given(_grids_with_state())
+    def test_skip_exactly_the_committed_matching_cells(self, grid):
+        specs, existing, kinds = grid
+        plan = plan_resume(specs, existing)
+        assert set(plan.to_execute) == {
+            label for label, kind in kinds.items() if kind != _MATCH
+        }
+
+    @given(st.lists(st.integers(1, 50), min_size=1, max_size=8, unique=True))
+    def test_resume_of_complete_grid_executes_zero_cells(self, sizes):
+        specs = [_spec(f"cell{i}", n) for i, n in enumerate(sizes)]
+        existing = {
+            s.label: CellState(has_summary=True, config_hash=s.hash())
+            for s in specs
+        }
+        plan = plan_resume(specs, existing)
+        assert plan.to_execute == ()
+        assert list(plan.skip) == [s.label for s in specs]
+
+    def test_extra_on_disk_cells_are_ignored(self):
+        specs = [_spec("a", 1)]
+        existing = {
+            "a": CellState(has_summary=True, config_hash=specs[0].hash()),
+            "orphan": CellState(has_summary=True, config_hash="f" * 64),
+        }
+        plan = plan_resume(specs, existing)
+        assert plan.skip == ("a",) and plan.to_execute == ()
+
+
+# ----------------------------------------------------------------------
+# Tolerance semantics
+# ----------------------------------------------------------------------
+_finite = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+
+
+class TestToleranceSemantics:
+    @given(a=_finite, rel=st.floats(0, 1), abs_=st.floats(0, 1e6))
+    def test_reflexive(self, a, rel, abs_):
+        assert within_tolerance(a, a, rel, abs_)
+
+    @given(a=_finite, b=_finite)
+    def test_zero_tolerance_is_equality(self, a, b):
+        assert within_tolerance(a, b, 0.0, 0.0) == (a == b)
+
+    @given(a=_finite, b=_finite, rel=st.floats(0, 1), abs_=st.floats(0, 1e6))
+    def test_symmetric(self, a, b, rel, abs_):
+        assert within_tolerance(a, b, rel, abs_) == within_tolerance(
+            b, a, rel, abs_
+        )
+
+    @settings(max_examples=50)
+    @given(
+        rows=st.lists(
+            st.fixed_dictionaries(
+                {"x": _finite, "tag": st.sampled_from(["p", "q"])}
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_identical_rows_summarize_identically(self, rows):
+        assert compare_summaries(
+            summarize_rows(rows), summarize_rows(list(rows))
+        ) == []
+
+    def test_out_of_tolerance_perturbation_is_reported(self):
+        stored = summarize_rows([{"x": 1.0}, {"x": 3.0}])
+        fresh = summarize_rows([{"x": 1.0}, {"x": 3.1}])
+        problems = compare_summaries(
+            stored, fresh, tolerances={"x": {"rel": 1e-3, "abs": 0.0}}
+        )
+        assert problems and any("'x'" in p for p in problems)
+        # ...and a loose-enough tolerance accepts the same perturbation.
+        assert (
+            compare_summaries(
+                stored, fresh, tolerances={"x": {"rel": 0.1, "abs": 0.0}}
+            )
+            == []
+        )
+
+    def test_non_numeric_metrics_compare_exactly(self):
+        stored = summarize_rows([{"name": "a"}])
+        fresh = summarize_rows([{"name": "b"}])
+        assert compare_summaries(stored, fresh)
