@@ -2,8 +2,8 @@
 # CI (.github/workflows/ci.yml) calls these same targets, one per job.
 PY := PYTHONPATH=src python
 
-.PHONY: test test-sharded test-kernel test-harness doctest bench \
-  bench-smoke bench-kernel bench-guard lint check
+.PHONY: test test-sharded test-kernel test-harness test-service doctest \
+  bench bench-smoke bench-kernel bench-service bench-guard lint check
 
 # Tier-1 suite (includes the doctest run over the documented public
 # surface and the ~1 s bench smoke in tests/test_docs_and_bench_smoke.py).
@@ -36,12 +36,25 @@ test-harness:
 	  tests/evaluation/test_reproduce.py \
 	  tests/evaluation/test_harness_seeds.py -q
 
+# Artifact store + memoized bound server: the randomized differential
+# suite (cached bytes == fresh bytes), the store engine/corruption
+# tests, the key-stability property suite, the HTTP endpoint +
+# concurrent-clients suite, and the sweep --store/--jobs integration.
+test-service:
+	$(PY) -m pytest tests/store tests/service \
+	  tests/evaluation/test_harness_store.py \
+	  tests/evaluation/test_harness_jobs.py -q
+
 # Standalone doctest pass over the documented modules.
 doctest:
 	$(PY) -m pytest --doctest-modules \
 	  src/repro/core/ordering.py \
 	  src/repro/pebbling/state.py \
-	  src/repro/pebbling/parallel.py -q
+	  src/repro/pebbling/parallel.py \
+	  src/repro/store/keys.py \
+	  src/repro/store/db.py \
+	  src/repro/store/analysis.py \
+	  src/repro/service/server.py -q
 
 # Smallest-size benchmark smoke (still completes the 10^6-move P-RBW game).
 bench-smoke:
@@ -49,7 +62,13 @@ bench-smoke:
 
 # Full core benchmarks; refreshes BENCH_core.json.
 bench:
-	$(PY) -m pytest benchmarks/bench_compiled_core.py -q --benchmark-disable
+	$(PY) -m pytest benchmarks/bench_compiled_core.py \
+	  benchmarks/bench_service.py -q --benchmark-disable
+
+# Service/store load benchmark alone: cold-vs-warm compiled path (>=10x
+# asserted), warm HTTP latency, and the many-tenant mixed-grid load run.
+bench-service:
+	$(PY) -m pytest benchmarks/bench_service.py -q --benchmark-disable
 
 # Kernel-backend benchmark subset: refreshes only the strategy/kernel_*
 # entries (plus the same-run batched baselines they are measured

@@ -8,9 +8,11 @@ value and fails on more-than-``THRESHOLD``-fold regressions.
 
 Guarded prefixes: ``movelog/``, ``sched/``, ``strategy/`` (which
 includes the ``strategy/sharded_*`` multiprocess-runner entries and the
-``strategy/kernel_*`` fused-kernel entries) — the hot-path numbers the
-compiled backend, columnar log, and batched/sharded/kernel strategy
-loops exist for.  Only keys present in both files are compared
+``strategy/kernel_*`` fused-kernel entries) and ``service/`` (the
+artifact-store warm/cold paths and bound-server latencies from
+``bench_service.py``) — the hot-path numbers the compiled backend,
+columnar log, batched/sharded/kernel strategy loops, and memoized
+service exist for.  Only keys present in both files are compared
 (smoke mode measures the smallest sizes; committed entries at other
 sizes are informational), but every *required group* must overlap in at
 least one key — a refactor that silently stops measuring the sharded
@@ -46,7 +48,7 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 COMMITTED = REPO / "BENCH_core.json"
-GUARDED_PREFIXES = ("movelog/", "sched/", "strategy/")
+GUARDED_PREFIXES = ("movelog/", "sched/", "strategy/", "service/")
 #: each of these prefixes must overlap the baseline in >= 1 entry
 REQUIRED_GROUPS = (
     "movelog/",
@@ -55,6 +57,8 @@ REQUIRED_GROUPS = (
     "strategy/",
     "strategy/sharded_",
     "strategy/kernel_",
+    "service/",
+    "service/compiled_warm_",
 )
 THRESHOLD = float(os.environ.get("BENCH_GUARD_THRESHOLD", "3.0"))
 
@@ -72,6 +76,7 @@ def run_smoke(out_json: Path) -> None:
     cmd = [
         sys.executable, "-m", "pytest",
         str(REPO / "benchmarks" / "bench_compiled_core.py"),
+        str(REPO / "benchmarks" / "bench_service.py"),
         "-q", "-m", "not bench", "--benchmark-disable",
     ]
     print("+", " ".join(cmd), flush=True)

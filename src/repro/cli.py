@@ -13,8 +13,12 @@ Usage::
     python -m repro.cli balance
     python -m repro.cli spill --workload star --ops 2000 --workers 2
     python -m repro.cli sweep --out results --grid smoke --resume
+    python -m repro.cli sweep --out results --jobs 4 --store repro-store.db
     python -m repro.cli reproduce results
     python -m repro.cli bench-view results --out BENCH_core.json
+    python -m repro.cli serve --db repro-store.db --port 8177
+    python -m repro.cli cache stats --db repro-store.db
+    python -m repro.cli cache gc --db repro-store.db --max-bytes 100000000
     python -m repro.cli all
 
 Each subcommand runs the corresponding experiment driver from
@@ -35,18 +39,29 @@ otherwise), or ``off`` (fall back to the batched loop).
 manifest-driven harness (:mod:`repro.evaluation.harness`): one result
 directory per cell with ``manifest.json`` / ``metrics.jsonl`` /
 ``summary.json``, where ``--resume`` skips committed cells whose config
-hash matches and sweeps + re-runs stale or partial ones.  ``reproduce``
+hash matches and sweeps + re-runs stale or partial ones; ``--jobs N``
+runs cells in parallel worker processes (``--cell-timeout`` bounds each
+cell's wall clock; failures leave resumable partials) and ``--store``
+activates the content-addressed artifact store so repeated cells adopt
+cached compiled snapshots.  ``reproduce``
 replays every manifest in a results store and verifies the regenerated
 rows against the stored artifacts within per-metric tolerances (nonzero
 exit naming each failing cell).  ``bench-view`` derives a
-``BENCH_core.json``-style view over a results store.  The usage block
-above lists every registered subcommand —
+``BENCH_core.json``-style view over a results store.
+
+``serve`` starts the long-running memoized bound server
+(:mod:`repro.service`) over a content-addressed artifact store
+(:mod:`repro.store`), and ``cache`` inspects or maintains such a store
+(``stats`` / ``gc`` / ``clear``) — see ``docs/service.md`` for the
+service contract, cache-key discipline, and operational notes.  The
+usage block above lists every registered subcommand —
 ``tests/evaluation/test_cli.py`` pins it against the parser.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -155,6 +170,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="skip committed cells whose config hash matches; "
                    "sweep and re-run stale or partial cells")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="run up to N cells in parallel worker processes "
+                   "(1 = sequential, in grid order)")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   help="wall-clock limit per cell in seconds (jobs > 1); "
+                   "a timed-out cell is terminated, leaving a resumable "
+                   "partial directory")
+    p.add_argument("--store", default=None, metavar="DB",
+                   help="activate the content-addressed artifact store at "
+                   "this SQLite path (cells adopt cached compiled "
+                   "snapshots; results are byte-identical)")
 
     p = sub.add_parser(
         "reproduce",
@@ -172,6 +198,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="merge the derived harness/* entries into this "
                    "JSON file (default: print to stdout)")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the memoized bound server over an artifact store "
+        "(GET /health /stats; POST /v1/{compiled,schedule,bound,pebble})",
+    )
+    p.add_argument("--db", default="repro-store.db",
+                   help="artifact-store SQLite path (created if absent)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8177,
+                   help="listen port (0 picks a free one)")
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or maintain an artifact store "
+        "(stats | gc | clear)",
+    )
+    p.add_argument("action", nargs="?", default="stats",
+                   choices=["stats", "gc", "clear"],
+                   help="stats: entry counts / hit rates / sizes; "
+                   "gc: evict stale + LRU entries; clear: drop everything")
+    p.add_argument("--db", default="repro-store.db",
+                   help="artifact-store SQLite path")
+    p.add_argument("--max-bytes", type=int, default=None,
+                   help="gc: evict least-recently-used entries until the "
+                   "payload total fits")
+    p.add_argument("--max-age-s", type=float, default=None,
+                   help="gc: evict entries unused for this many seconds")
+    p.add_argument("--keep-stale-code", action="store_true",
+                   help="gc: keep entries stamped with old code versions "
+                   "(dropped by default)")
+    p.add_argument("--vacuum", action="store_true",
+                   help="gc: VACUUM the database file afterwards")
 
     sub.add_parser("all", help="run every experiment with default parameters")
     return parser
@@ -240,7 +299,19 @@ def _run_sweep(args: argparse.Namespace) -> int:
         if not specs:
             print(f"no grid cells match experiments {sorted(keep)}")
             return 2
-    run_grid(specs, args.out, resume=args.resume)
+    result = run_grid(
+        specs,
+        args.out,
+        resume=args.resume,
+        store_path=args.store,
+        jobs=args.jobs,
+        cell_timeout=args.cell_timeout,
+    )
+    if result.failed:
+        names = ", ".join(f"{label} ({reason})"
+                          for label, reason in result.failed)
+        print(f"sweep FAILED for cell(s): {names}")
+        return 1
     return 0
 
 
@@ -269,6 +340,42 @@ def _run_bench_view(args: argparse.Namespace) -> int:
         )
     else:
         print(dumps_canonical(bench_view(args.results_dir)), end="")
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: blocking memoized bound server."""
+    from .service.server import serve
+
+    serve(args.db, host=args.host, port=args.port)
+    return 0
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    """The ``cache`` subcommand: stats / gc / clear on a store file."""
+    from .evaluation.manifest import dumps_canonical
+    from .store.db import ArtifactStore
+
+    if args.action != "stats" and not os.path.exists(args.db):
+        print(f"no artifact store at {args.db}")
+        return 2
+    with ArtifactStore(args.db) as store:
+        if args.action == "stats":
+            print(dumps_canonical(store.stats()), end="")
+        elif args.action == "gc":
+            report = store.gc(
+                max_bytes=args.max_bytes,
+                max_age_s=args.max_age_s,
+                drop_stale_code=not args.keep_stale_code,
+                vacuum=args.vacuum,
+            )
+            print(
+                f"gc: removed {report['removed']} entrie(s), "
+                f"{report['removed_bytes']} payload byte(s)"
+            )
+        else:  # clear
+            removed = store.clear()
+            print(f"clear: removed {removed} entrie(s)")
     return 0
 
 
@@ -337,6 +444,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_reproduce(args)
     if args.command == "bench-view":
         return _run_bench_view(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "cache":
+        return _run_cache(args)
     if args.command == "all":
         defaults = build_parser()
         for name in ("table1", "composite", "cg", "gmres", "jacobi",

@@ -30,6 +30,28 @@ tolerance").
 trajectories become an auditable derived view instead of a hand-merged
 flat dict.
 
+Parallel cells and the artifact store
+-------------------------------------
+``run_grid(..., jobs=N)`` executes up to ``N`` cells at a time, each in
+its own worker **process** (fork where available), so a crashing or
+runaway cell cannot take the sweep down with it: a worker that dies
+leaves its partial run directory behind (resumable, exactly like a
+crash under ``jobs=1``) and is reported in ``GridRunResult.failed``.
+``cell_timeout`` puts a wall-clock deadline on every cell; a cell past
+its deadline is terminated and reported the same way.  The commit
+protocol makes this safe without any cross-process locking: cells never
+share a run directory, and a cell only counts as complete once its
+``summary.json`` is committed.
+
+``run_grid(..., store_path=...)`` activates a content-addressed
+artifact store (:mod:`repro.store`) for the duration of the sweep —
+construction-heavy cells (the spill experiments) then adopt cached
+compiled CSR snapshots via
+:func:`repro.store.runtime.attach_compiled` instead of recompiling per
+cell, across resumes and across worker processes (SQLite/WAL handles
+the concurrent writers).  Results are byte-identical with and without
+the store; ``tests/evaluation/test_harness_store.py`` pins that.
+
 Crash-injection hook
 --------------------
 The crash/resume differential suite needs a deterministic way to die
@@ -44,10 +66,12 @@ compares per row and is inert unless the variable is set.
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import shutil
 import signal
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -517,6 +541,9 @@ class GridRunResult:
     plan: ResumePlan
     executed: List[str]
     skipped: List[str]
+    #: (label, reason) for cells whose worker died or timed out
+    #: (``jobs > 1`` only; under ``jobs=1`` cell errors propagate)
+    failed: List[Tuple[str, str]] = field(default_factory=list)
 
 
 def _validate_grid(specs: Sequence[RunSpec]) -> None:
@@ -529,23 +556,168 @@ def _validate_grid(specs: Sequence[RunSpec]) -> None:
         seen[spec.label] = spec.experiment
 
 
+def _execute_cell(
+    spec: RunSpec,
+    run_dir: Path,
+    registry: Mapping[str, ExperimentDef],
+    kill: _KillHook,
+) -> None:
+    """One cell, start to commit: manifest -> metrics rows -> timing ->
+    summary.  ``run_dir`` must exist and be empty."""
+    manifest = build_manifest(
+        spec.experiment, spec.params, spec.seed, spec.label
+    )
+    write_manifest(run_dir, manifest)
+    start = time.perf_counter()
+    rows = registry[spec.experiment].run(spec.params, spec.seed)
+    for row in rows:
+        kill.after_row()
+        append_metrics_row(run_dir, row)
+    elapsed = time.perf_counter() - start
+    (run_dir / TIMING_NAME).write_text(
+        dumps_canonical({"elapsed_s": elapsed})
+    )
+    kill.before_summary()
+    write_summary(
+        run_dir,
+        {
+            "schema": SCHEMA_VERSION,
+            "experiment": spec.experiment,
+            "label": spec.label,
+            "seed": spec.seed,
+            "config_hash": manifest["config_hash"],
+            **summarize_rows(rows),
+        },
+    )
+
+
+def _cell_process_main(
+    spec: RunSpec,
+    run_dir: str,
+    registry: Mapping[str, ExperimentDef],
+    store_path: Optional[str],
+) -> None:
+    """Worker-process entry point for one cell under ``jobs > 1``.  The
+    parent prepared (swept + recreated) ``run_dir``; exit code 0 means
+    the cell committed, anything else leaves a resumable partial."""
+    kill = _KillHook(os.environ.get(KILL_ENV))
+    if store_path is None:
+        _execute_cell(spec, Path(run_dir), registry, kill)
+        return
+    # Deferred: repro.store imports this module's package; see the
+    # cycle note in repro.store.analysis.
+    from ..store.db import ArtifactStore
+    from ..store.runtime import activated
+
+    with ArtifactStore(store_path) as store, activated(store):
+        _execute_cell(spec, Path(run_dir), registry, kill)
+
+
+def _mp_context():
+    """Fork where the platform has it (cheap, inherits non-picklable
+    registries); spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _run_cells_parallel(
+    to_run: Sequence[RunSpec],
+    root: Path,
+    registry: Mapping[str, ExperimentDef],
+    decisions: Mapping[str, str],
+    jobs: int,
+    cell_timeout: Optional[float],
+    store_path: Optional[str],
+    log: Callable[[str], None],
+) -> Tuple[List[str], List[Tuple[str, str]]]:
+    """Run cells in up to ``jobs`` worker processes; returns
+    (completed labels, failed (label, reason) pairs), both in grid
+    order."""
+    ctx = _mp_context()
+    pending = deque(to_run)
+    running: Dict[str, Tuple] = {}  # label -> (proc, deadline)
+    done: Dict[str, Optional[str]] = {}  # label -> None | failure reason
+    while pending or running:
+        while pending and len(running) < jobs:
+            spec = pending.popleft()
+            run_dir = root / spec.label
+            if run_dir.exists():
+                shutil.rmtree(run_dir)
+            run_dir.mkdir()
+            log(f"[{decisions[spec.label]}]".ljust(10) + spec.label)
+            proc = ctx.Process(
+                target=_cell_process_main,
+                args=(spec, str(run_dir), registry, store_path),
+            )
+            proc.start()
+            deadline = (
+                None if cell_timeout is None
+                else time.monotonic() + cell_timeout
+            )
+            running[spec.label] = (proc, deadline)
+        for label, (proc, deadline) in list(running.items()):
+            if proc.is_alive():
+                if deadline is not None and time.monotonic() >= deadline:
+                    proc.terminate()
+                    proc.join(5.0)
+                    if proc.is_alive():  # pragma: no cover - stuck worker
+                        proc.kill()
+                        proc.join()
+                    done[label] = f"timed out after {cell_timeout:g}s"
+                    log(f"[timeout] {label} ({done[label]}; partial "
+                        "directory left for --resume)")
+                    del running[label]
+                continue
+            proc.join()
+            if proc.exitcode == 0:
+                done[label] = None
+            else:
+                done[label] = f"worker exited with code {proc.exitcode}"
+                log(f"[failed]  {label} ({done[label]})")
+            del running[label]
+        if running:
+            time.sleep(0.01)
+    completed = [s.label for s in to_run if done.get(s.label) is None]
+    failed = [(s.label, done[s.label]) for s in to_run
+              if done.get(s.label) is not None]
+    return completed, failed
+
+
 def run_grid(
     specs: Sequence[RunSpec],
     root: Path,
     resume: bool = False,
     registry: Mapping[str, ExperimentDef] = REGISTRY,
     log: Callable[[str], None] = print,
+    store_path: Optional[os.PathLike] = None,
+    jobs: int = 1,
+    cell_timeout: Optional[float] = None,
 ) -> GridRunResult:
     """Execute a grid into ``root``, one run directory per cell.
 
     Without ``resume`` every requested cell is (re)run, clobbering any
     previous directory of the same label.  With ``resume`` the
     :func:`plan_resume` decisions apply; stale and partial directories
-    are swept before re-running.  Cell execution order is grid order
-    (deterministic), and each cell follows the manifest -> metrics ->
-    summary commit protocol.
+    are swept before re-running.  Each cell follows the manifest ->
+    metrics -> summary commit protocol.
+
+    ``store_path`` activates the content-addressed artifact store for
+    every cell (cached compiled snapshots; results stay byte-identical).
+    ``jobs > 1`` runs cells in parallel worker processes — execution
+    order becomes nondeterministic but directories never conflict, and
+    worker crashes / ``cell_timeout`` expiries are collected in
+    ``GridRunResult.failed`` instead of aborting the sweep (the failed
+    cell's partial directory stays behind for ``--resume``).  Under
+    ``jobs=1`` execution is in grid order and cell exceptions propagate,
+    exactly as before.
     """
     _validate_grid(specs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if cell_timeout is not None and cell_timeout <= 0:
+        raise ValueError(f"cell_timeout must be positive, got {cell_timeout}")
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
     kill = _KillHook(os.environ.get(KILL_ENV))
@@ -558,48 +730,51 @@ def run_grid(
     decisions.update({label: "stale" for label in plan.stale})
     decisions.update({label: "partial" for label in plan.partial})
 
-    executed: List[str] = []
     skipped: List[str] = []
+    to_run: List[RunSpec] = []
     for spec in specs:
         if spec.label in plan.skip:
             log(f"[skip]    {spec.label} (complete, config hash matches)")
             skipped.append(spec.label)
-            continue
-        reason = decisions[spec.label]
-        run_dir = root / spec.label
-        if run_dir.exists():
-            shutil.rmtree(run_dir)
-        run_dir.mkdir()
-        log(f"[{reason}]".ljust(10) + spec.label)
-        manifest = build_manifest(
-            spec.experiment, spec.params, spec.seed, spec.label
+        else:
+            to_run.append(spec)
+
+    failed: List[Tuple[str, str]] = []
+    if jobs > 1:
+        executed, failed = _run_cells_parallel(
+            to_run, root, registry, decisions, jobs, cell_timeout,
+            None if store_path is None else str(store_path), log,
         )
-        write_manifest(run_dir, manifest)
-        start = time.perf_counter()
-        rows = registry[spec.experiment].run(spec.params, spec.seed)
-        for row in rows:
-            kill.after_row()
-            append_metrics_row(run_dir, row)
-        elapsed = time.perf_counter() - start
-        (run_dir / TIMING_NAME).write_text(
-            dumps_canonical({"elapsed_s": elapsed})
-        )
-        kill.before_summary()
-        write_summary(
-            run_dir,
-            {
-                "schema": SCHEMA_VERSION,
-                "experiment": spec.experiment,
-                "label": spec.label,
-                "seed": spec.seed,
-                "config_hash": manifest["config_hash"],
-                **summarize_rows(rows),
-            },
-        )
-        executed.append(spec.label)
-    log(f"executed {len(executed)} cell(s), skipped {len(skipped)}")
+    elif store_path is not None:
+        from ..store.db import ArtifactStore
+        from ..store.runtime import activated
+
+        executed = []
+        with ArtifactStore(store_path) as store, activated(store):
+            for spec in to_run:
+                run_dir = root / spec.label
+                if run_dir.exists():
+                    shutil.rmtree(run_dir)
+                run_dir.mkdir()
+                log(f"[{decisions[spec.label]}]".ljust(10) + spec.label)
+                _execute_cell(spec, run_dir, registry, kill)
+                executed.append(spec.label)
+    else:
+        executed = []
+        for spec in to_run:
+            run_dir = root / spec.label
+            if run_dir.exists():
+                shutil.rmtree(run_dir)
+            run_dir.mkdir()
+            log(f"[{decisions[spec.label]}]".ljust(10) + spec.label)
+            _execute_cell(spec, run_dir, registry, kill)
+            executed.append(spec.label)
+    log(
+        f"executed {len(executed)} cell(s), skipped {len(skipped)}"
+        + (f", FAILED {len(failed)}" if failed else "")
+    )
     return GridRunResult(root=root, plan=plan, executed=executed,
-                         skipped=skipped)
+                         skipped=skipped, failed=failed)
 
 
 # ----------------------------------------------------------------------

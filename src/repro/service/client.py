@@ -1,0 +1,128 @@
+"""A minimal stdlib client for the bound service.
+
+``urllib``-based, dependency-free; used by the test suite, the
+many-tenant load benchmark (``benchmarks/bench_service.py``), and as
+executable documentation of the wire format.  Each convenience method
+mirrors one endpoint of :mod:`repro.service.server` and returns the
+decoded JSON mapping; HTTP error statuses raise :class:`ServiceError`
+carrying the server's ``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An error response from the service (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to a running bound server.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``"http://127.0.0.1:8177"`` (no trailing slash needed).
+    timeout_s:
+        Per-request socket timeout.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> Dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get(
+                    "error", exc.reason
+                )
+            except ValueError:
+                message = str(exc.reason)
+            raise ServiceError(exc.code, message) from None
+
+    def get(self, path: str) -> Dict:
+        return self._request("GET", path)
+
+    def post(self, path: str, body: Dict) -> Dict:
+        return self._request("POST", path, body)
+
+    # -- endpoint mirrors ----------------------------------------------
+    def health(self) -> Dict:
+        return self.get("/health")
+
+    def stats(self) -> Dict:
+        return self.get("/stats")
+
+    def compiled(
+        self, builder: str, params: Optional[Dict] = None, seed: int = 0
+    ) -> Dict:
+        return self.post(
+            "/v1/compiled",
+            {"builder": builder, "params": params, "seed": seed},
+        )
+
+    def schedule(
+        self,
+        builder: str,
+        params: Optional[Dict] = None,
+        seed: int = 0,
+        kind: str = "dfs",
+        include_ids: bool = False,
+    ) -> Dict:
+        return self.post(
+            "/v1/schedule",
+            {
+                "builder": builder,
+                "params": params,
+                "seed": seed,
+                "kind": kind,
+                "include_ids": include_ids,
+            },
+        )
+
+    def bound(
+        self,
+        builder: str,
+        params: Optional[Dict] = None,
+        seed: int = 0,
+        s: int = 16,
+        method: str = "wavefront",
+        **extra,
+    ) -> Dict:
+        body = {
+            "builder": builder,
+            "params": params,
+            "seed": seed,
+            "s": s,
+            "method": method,
+        }
+        body.update(extra)
+        return self.post("/v1/bound", body)
+
+    def pebble(self, params: Optional[Dict] = None, seed: int = 0) -> Dict:
+        return self.post("/v1/pebble", {"params": params, "seed": seed})

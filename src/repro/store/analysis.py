@@ -1,0 +1,498 @@
+"""Memoized analyses: the pure functions the store caches.
+
+Everything the service serves is a pure function of ``(builder, params,
+seed, code version)``:
+
+* **compiled** — the CSR snapshot of the builder's CDAG
+  (:func:`cached_compiled`);
+* **schedule** — a DFS or min-live-set schedule in id space
+  (:func:`cached_schedule`);
+* **bound** — a lower bound on the CDAG's I/O: the automated
+  wavefront/min-cut bound (Lemma 2), the Hong-Kung 2S-partition bound
+  (Corollary 1, given a ``U(2S)`` upper bound), or a closed-form
+  analytical bound where one exists for the builder family
+  (:func:`cached_bound`);
+* **spill** — a complete spill-strategy game's move/I/O manifest
+  (:func:`cached_spill`, delegating to the harness's
+  ``experiment_spill_strategies`` driver).
+
+Each ``cached_*`` function has a ``fresh_*`` counterpart that computes
+without touching any store — the randomized differential suite pins
+``stored payload == serialize(fresh value)`` byte for byte, and the
+store path is exactly ``fresh`` + codec + :class:`ArtifactStore`, so a
+cache hit can never drift from a recomputation.
+
+The builder registry (:data:`BUILDERS`) spans the repo's CDAG zoo:
+chains, reduction/broadcast trees, diamonds, d-dimensional stencil
+grids, FFT butterflies, pyramids, outer products, dense layers, the
+spill star, and the seeded random component forest (the only
+seed-sensitive family).
+
+Doctest::
+
+    >>> import tempfile, os
+    >>> from repro.store import ArtifactStore, cached_bound
+    >>> store = ArtifactStore(os.path.join(tempfile.mkdtemp(), "s.db"))
+    >>> bound, hit = cached_bound(store, "chain", {"length": 16}, s=2)
+    >>> hit, bound["method"], bound["value"] >= 0
+    (False, 'wavefront', True)
+    >>> bound2, hit2 = cached_bound(store, "chain", {"length": 16}, s=2)
+    >>> hit2 and bound2 == bound
+    True
+    >>> store.close()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..bounds.analytical import fft_io_lower_bound, outer_product_io
+from ..bounds.hong_kung import lower_bound_from_largest_subset
+from ..bounds.mincut import automated_wavefront_bound
+from ..core import builders as _b
+from ..core.cdag import CDAG
+from ..core.compiled import CompiledCDAG
+from ..core.ordering import dfs_schedule_ids, min_liveset_schedule_ids
+from ..evaluation.manifest import canonical_config, dumps_canonical
+from ..pebbling.workloads import component_forest_cdag, star_spill_cdag
+from .codec import (
+    compiled_from_payload,
+    json_from_payload,
+    schedule_from_payload,
+    serialize_compiled,
+    serialize_json,
+    serialize_schedule,
+)
+from .db import ArtifactStore
+from .keys import artifact_key, code_version
+
+__all__ = [
+    "BUILDERS",
+    "BuilderDef",
+    "build_cdag",
+    "compiled_spec",
+    "fresh_compiled",
+    "fresh_compiled_payload",
+    "cached_compiled",
+    "cached_compiled_payload",
+    "fresh_schedule",
+    "cached_schedule",
+    "fresh_bound",
+    "cached_bound",
+    "fresh_spill",
+    "cached_spill",
+    "SCHEDULE_KINDS",
+    "BOUND_METHODS",
+]
+
+
+class BuilderDef:
+    """One registered CDAG family: a construction function over
+    canonical params (+ seed for the randomized families) and the
+    defaults merged under caller overrides."""
+
+    __slots__ = ("name", "build", "defaults", "seeded")
+
+    def __init__(
+        self,
+        name: str,
+        build: Callable[[Mapping, int], CDAG],
+        defaults: Mapping,
+        seeded: bool = False,
+    ):
+        self.name = name
+        self.build = build
+        self.defaults = dict(defaults)
+        self.seeded = seeded
+
+
+BUILDERS: Dict[str, BuilderDef] = {
+    "chain": BuilderDef(
+        "chain",
+        lambda p, seed: _b.chain_cdag(int(p["length"])),
+        {"length": 64},
+    ),
+    "chains": BuilderDef(
+        "chains",
+        lambda p, seed: _b.independent_chains_cdag(
+            int(p["num_chains"]), int(p["length"])
+        ),
+        {"num_chains": 8, "length": 32},
+    ),
+    "tree": BuilderDef(
+        "tree",
+        lambda p, seed: _b.reduction_tree_cdag(
+            int(p["num_leaves"]), int(p["arity"])
+        ),
+        {"num_leaves": 64, "arity": 2},
+    ),
+    "bcast": BuilderDef(
+        "bcast",
+        lambda p, seed: _b.broadcast_tree_cdag(
+            int(p["num_leaves"]), int(p["arity"])
+        ),
+        {"num_leaves": 64, "arity": 2},
+    ),
+    "diamond": BuilderDef(
+        "diamond",
+        lambda p, seed: _b.diamond_cdag(int(p["width"]), int(p["depth"])),
+        {"width": 16, "depth": 16},
+    ),
+    "grid": BuilderDef(
+        "grid",
+        lambda p, seed: _b.grid_stencil_cdag(
+            tuple(int(x) for x in p["shape"]), int(p["timesteps"])
+        ),
+        {"shape": [16, 16], "timesteps": 4},
+    ),
+    "butterfly": BuilderDef(
+        "butterfly",
+        lambda p, seed: _b.butterfly_cdag(int(p["log_n"])),
+        {"log_n": 5},
+    ),
+    "pyramid": BuilderDef(
+        "pyramid",
+        lambda p, seed: _b.pyramid_cdag(int(p["base"])),
+        {"base": 16},
+    ),
+    "outer": BuilderDef(
+        "outer",
+        lambda p, seed: _b.outer_product_cdag(int(p["n"])),
+        {"n": 8},
+    ),
+    "dense": BuilderDef(
+        "dense",
+        lambda p, seed: _b.dense_layer_cdag(
+            int(p["num_inputs"]), int(p["num_outputs"])
+        ),
+        {"num_inputs": 8, "num_outputs": 8},
+    ),
+    "star_spill": BuilderDef(
+        "star_spill",
+        lambda p, seed: star_spill_cdag(int(p["ops"]), int(p["degree"])),
+        {"ops": 64, "degree": 8},
+    ),
+    "forest": BuilderDef(
+        "forest",
+        lambda p, seed: component_forest_cdag(
+            int(p["components"]), int(p["component_size"]), seed=seed
+        ),
+        {"components": 4, "component_size": 12},
+        seeded=True,
+    ),
+}
+
+SCHEDULE_KINDS = ("dfs", "minlive")
+BOUND_METHODS = ("wavefront", "hong_kung", "analytical")
+
+
+def _resolve(builder: str, params: Optional[Mapping]) -> Tuple[BuilderDef, Dict]:
+    if builder not in BUILDERS:
+        raise ValueError(
+            f"unknown builder {builder!r}; known: {sorted(BUILDERS)}"
+        )
+    bdef = BUILDERS[builder]
+    merged = dict(bdef.defaults)
+    for key, value in (params or {}).items():
+        if key not in merged:
+            raise ValueError(
+                f"unknown param {key!r} for builder {builder!r}; "
+                f"known: {sorted(merged)}"
+            )
+        merged[key] = value
+    return bdef, canonical_config(merged)
+
+
+def build_cdag(
+    builder: str, params: Optional[Mapping] = None, seed: int = 0
+) -> CDAG:
+    """Construct the named CDAG family fresh (defaults + overrides)."""
+    bdef, merged = _resolve(builder, params)
+    return bdef.build(merged, int(seed))
+
+
+def compiled_spec(
+    builder: str, params: Optional[Mapping] = None, seed: int = 0
+) -> Dict:
+    """The canonical spec mapping content-addressing a builder's CDAG."""
+    _, merged = _resolve(builder, params)
+    return {"builder": builder, "params": merged, "seed": int(seed)}
+
+
+def _store_meta(kind: str, spec: Mapping) -> Dict:
+    return {
+        "kind": kind,
+        "builder": str(spec.get("builder", "")),
+        "seed": int(spec.get("seed", 0)),
+        "spec_json": dumps_canonical(canonical_config(spec), indent=None),
+        "code_ver": code_version(),
+    }
+
+
+def _get_or_compute(
+    store: ArtifactStore, kind: str, spec: Mapping, compute: Callable[[], bytes]
+) -> Tuple[bytes, bool]:
+    key = artifact_key(kind, spec)
+    return store.get_or_compute(key, compute, **_store_meta(kind, spec))
+
+
+# ----------------------------------------------------------------------
+# Compiled snapshots
+# ----------------------------------------------------------------------
+def fresh_compiled(
+    builder: str, params: Optional[Mapping] = None, seed: int = 0
+) -> CompiledCDAG:
+    """Build + compile the CDAG without touching any store."""
+    return build_cdag(builder, params, seed).compiled()
+
+
+def fresh_compiled_payload(
+    builder: str, params: Optional[Mapping] = None, seed: int = 0
+) -> bytes:
+    return serialize_compiled(fresh_compiled(builder, params, seed))
+
+
+def cached_compiled_payload(
+    store: ArtifactStore,
+    builder: str,
+    params: Optional[Mapping] = None,
+    seed: int = 0,
+) -> Tuple[bytes, bool]:
+    """``(payload bytes, was_hit)`` for the compiled-snapshot artifact."""
+    spec = compiled_spec(builder, params, seed)
+    return _get_or_compute(
+        store,
+        "compiled",
+        spec,
+        lambda: fresh_compiled_payload(builder, params, seed),
+    )
+
+
+def cached_compiled(
+    store: ArtifactStore,
+    builder: str,
+    params: Optional[Mapping] = None,
+    seed: int = 0,
+) -> Tuple[CompiledCDAG, bool]:
+    """``(snapshot, was_hit)`` — a hit rehydrates the stored CSR arrays
+    without rebuilding or recompiling the CDAG."""
+    payload, hit = cached_compiled_payload(store, builder, params, seed)
+    return compiled_from_payload(payload), hit
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+def fresh_schedule(
+    builder: str,
+    params: Optional[Mapping] = None,
+    seed: int = 0,
+    kind: str = "dfs",
+    compiled: Optional[CompiledCDAG] = None,
+) -> np.ndarray:
+    """A schedule id array computed fresh (``kind`` in
+    :data:`SCHEDULE_KINDS`)."""
+    if kind not in SCHEDULE_KINDS:
+        raise ValueError(
+            f"unknown schedule kind {kind!r}; known: {SCHEDULE_KINDS}"
+        )
+    c = compiled if compiled is not None \
+        else fresh_compiled(builder, params, seed)
+    ids = dfs_schedule_ids(c) if kind == "dfs" \
+        else min_liveset_schedule_ids(c)
+    return np.asarray(ids, dtype=np.int32)
+
+
+def cached_schedule(
+    store: ArtifactStore,
+    builder: str,
+    params: Optional[Mapping] = None,
+    seed: int = 0,
+    kind: str = "dfs",
+) -> Tuple[np.ndarray, bool]:
+    """``(schedule ids, was_hit)``; the underlying compiled snapshot is
+    itself fetched through the store, so a schedule miss on a warm store
+    still skips the CDAG rebuild."""
+    if kind not in SCHEDULE_KINDS:
+        raise ValueError(
+            f"unknown schedule kind {kind!r}; known: {SCHEDULE_KINDS}"
+        )
+    spec = compiled_spec(builder, params, seed)
+    spec["schedule"] = kind
+
+    def compute() -> bytes:
+        c, _ = cached_compiled(store, builder, params, seed)
+        return serialize_schedule(
+            fresh_schedule(builder, params, seed, kind, compiled=c), kind
+        )
+
+    payload, hit = _get_or_compute(store, "schedule", spec, compute)
+    ids, _meta = schedule_from_payload(payload)
+    return ids, hit
+
+
+# ----------------------------------------------------------------------
+# Bounds
+# ----------------------------------------------------------------------
+def _bound_vertex_json(vertex):
+    if vertex is None:
+        return None
+    if isinstance(vertex, tuple):
+        return [_bound_vertex_json(x) for x in vertex]
+    return vertex
+
+
+def fresh_bound(
+    builder: str,
+    params: Optional[Mapping] = None,
+    seed: int = 0,
+    s: int = 16,
+    method: str = "wavefront",
+    max_candidates: int = 32,
+    u_upper: Optional[float] = None,
+    compiled: Optional[CompiledCDAG] = None,
+) -> Dict:
+    """One lower-bound result as a canonical JSON-safe mapping.
+
+    ``method`` selects the machinery (:data:`BOUND_METHODS`):
+    ``"wavefront"`` runs the automated Lemma 2 candidate heuristic with
+    exact per-candidate min-cuts; ``"hong_kung"`` applies Corollary 1
+    and **requires** ``u_upper`` (a valid upper bound on ``U(2S)`` —
+    soundness is the caller's obligation, exactly as in
+    :mod:`repro.bounds.hong_kung`); ``"analytical"`` uses the
+    closed-form family bound and is available for the ``butterfly`` and
+    ``outer`` builders only.
+    """
+    if method not in BOUND_METHODS:
+        raise ValueError(
+            f"unknown bound method {method!r}; known: {BOUND_METHODS}"
+        )
+    _, merged = _resolve(builder, params)
+    base = {
+        "builder": builder,
+        "method": method,
+        "s": int(s),
+        "seed": int(seed),
+    }
+    if method == "wavefront":
+        cdag = build_cdag(builder, params, seed)
+        if compiled is not None:
+            cdag.adopt_compiled(compiled)
+        bound = automated_wavefront_bound(
+            cdag, int(s), max_candidates=int(max_candidates)
+        )
+        return {
+            **base,
+            "value": float(bound.value),
+            "wavefront": int(bound.wavefront),
+            "vertex": _bound_vertex_json(bound.vertex),
+            "max_candidates": int(max_candidates),
+        }
+    if method == "hong_kung":
+        if u_upper is None:
+            raise ValueError("method 'hong_kung' requires u_upper (a valid "
+                             "upper bound on U(2S))")
+        c = compiled if compiled is not None \
+            else fresh_compiled(builder, params, seed)
+        num_ops = c.n - int(c.is_input_mask.sum())
+        bound = lower_bound_from_largest_subset(
+            int(s), num_ops, float(u_upper)
+        )
+        return {
+            **base,
+            "value": float(bound.value),
+            "num_operations": int(num_ops),
+            "u_upper": float(u_upper),
+        }
+    # analytical
+    if builder == "butterfly":
+        n = 2 ** int(merged["log_n"])
+        return {**base, "value": float(fft_io_lower_bound(n, int(s))),
+                "n": n}
+    if builder == "outer":
+        n = int(merged["n"])
+        return {**base, "value": float(outer_product_io(n)), "n": n}
+    raise ValueError(
+        f"no analytical bound registered for builder {builder!r} "
+        "(available: butterfly, outer)"
+    )
+
+
+def cached_bound(
+    store: ArtifactStore,
+    builder: str,
+    params: Optional[Mapping] = None,
+    seed: int = 0,
+    s: int = 16,
+    method: str = "wavefront",
+    max_candidates: int = 32,
+    u_upper: Optional[float] = None,
+) -> Tuple[Dict, bool]:
+    """``(bound mapping, was_hit)`` — the service's core query."""
+    if method not in BOUND_METHODS:
+        raise ValueError(
+            f"unknown bound method {method!r}; known: {BOUND_METHODS}"
+        )
+    spec = compiled_spec(builder, params, seed)
+    spec["s"] = int(s)
+    spec["method"] = method
+    if method == "wavefront":
+        spec["max_candidates"] = int(max_candidates)
+    if method == "hong_kung":
+        if u_upper is None:
+            raise ValueError("method 'hong_kung' requires u_upper (a valid "
+                             "upper bound on U(2S))")
+        spec["u_upper"] = float(u_upper)
+
+    def compute() -> bytes:
+        c, _ = cached_compiled(store, builder, params, seed)
+        return serialize_json(
+            fresh_bound(
+                builder,
+                params,
+                seed,
+                s=s,
+                method=method,
+                max_candidates=max_candidates,
+                u_upper=u_upper,
+                compiled=c,
+            )
+        )
+
+    payload, hit = _get_or_compute(store, "bound", spec, compute)
+    return json_from_payload(payload), hit
+
+
+# ----------------------------------------------------------------------
+# Spill-game manifests
+# ----------------------------------------------------------------------
+def fresh_spill(params: Optional[Mapping] = None, seed: int = 0) -> Dict:
+    """One complete spill-strategy game's move/I/O row, computed fresh
+    through the harness driver (accepts its parameter set)."""
+    from ..evaluation.harness import REGISTRY, make_spec
+
+    spec = make_spec("spill", params, seed=seed)
+    rows = REGISTRY["spill"].run(spec.params, spec.seed)
+    return rows[0]
+
+
+def cached_spill(
+    store: ArtifactStore,
+    params: Optional[Mapping] = None,
+    seed: int = 0,
+) -> Tuple[Dict, bool]:
+    """``(spill-game row, was_hit)`` — the pebbling-query endpoint."""
+    from ..evaluation.harness import make_spec
+
+    cell = make_spec("spill", params, seed=seed)
+    spec = {
+        "builder": str(cell.params["workload"]),
+        "params": dict(cell.params),
+        "seed": int(seed),
+    }
+    payload, hit = _get_or_compute(
+        store, "spill", spec, lambda: serialize_json(fresh_spill(params, seed))
+    )
+    return json_from_payload(payload), hit

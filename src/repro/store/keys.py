@@ -1,0 +1,101 @@
+"""Content-addressing: artifact keys and code-version stamping.
+
+Every cached artifact is identified by a SHA-256 **artifact key** over
+the canonical JSON encoding of::
+
+    {"kind", "spec", "code_version"}
+
+where ``kind`` names the artifact family (``"compiled"``, ``"schedule"``,
+``"bound"``, ``"spill"``), ``spec`` is the full parameterization of the
+computation (builder name, builder params, seed, analysis options —
+everything the result is a pure function of), and ``code_version``
+stamps the implementation that produced it.
+
+The canonicalization discipline is exactly the one
+:mod:`repro.evaluation.manifest` established for harness config hashes:
+dict key order and tuple-vs-list spelling never change a key (both
+properties are hypothesis-tested in
+``tests/store/test_store_properties.py``), numpy scalars unbox, and
+non-finite floats are rejected.  Changing *any* spec value, the kind, or
+the code version produces a different key — that is the whole
+invalidation story: stale entries are never overwritten, they simply
+stop being addressed (``ArtifactStore.gc`` reclaims them).
+
+``code_version`` defaults to a SHA-256 over the source text of every
+``repro`` module (cached per process), so editing any analysis code
+automatically invalidates every cached artifact.  Set
+``REPRO_CODE_VERSION`` to pin an explicit version string instead (e.g.
+a release tag, or a fixed value in hermetic tests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Mapping, Optional
+
+from ..evaluation.manifest import canonical_config, dumps_canonical
+
+__all__ = ["CODE_VERSION_ENV", "code_version", "artifact_key"]
+
+#: environment override for the code-version stamp
+CODE_VERSION_ENV = "REPRO_CODE_VERSION"
+
+_CODE_VERSION_CACHE: Optional[str] = None
+
+
+def _source_hash() -> str:
+    """SHA-256 over (relative path, bytes) of every ``repro/**/*.py``."""
+    pkg_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(pkg_root.rglob("*.py")):
+        digest.update(str(path.relative_to(pkg_root)).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+def code_version() -> str:
+    """The code-version stamp baked into every artifact key.
+
+    ``REPRO_CODE_VERSION`` wins when set; otherwise a 16-hex-digit hash
+    of the package's own source files, computed once per process.  Two
+    processes running identical source agree; any source edit changes
+    the stamp and therefore every key.
+    """
+    env = os.environ.get(CODE_VERSION_ENV)
+    if env:
+        return env
+    global _CODE_VERSION_CACHE
+    if _CODE_VERSION_CACHE is None:
+        _CODE_VERSION_CACHE = "src-" + _source_hash()
+    return _CODE_VERSION_CACHE
+
+
+def artifact_key(
+    kind: str, spec: Mapping, code_ver: Optional[str] = None
+) -> str:
+    """The content address of one artifact.
+
+    ``spec`` must be a JSON-canonicalizable mapping (the
+    :func:`repro.evaluation.manifest.canonical_config` rules); the key
+    is stable under key reordering and tuple/list spelling and changes
+    whenever ``kind``, any spec value, or the code version changes.
+
+    >>> a = artifact_key("bound", {"builder": "chain", "s": 4}, "v1")
+    >>> b = artifact_key("bound", {"s": 4, "builder": "chain"}, "v1")
+    >>> a == b and len(a) == 64
+    True
+    >>> artifact_key("bound", {"builder": "chain", "s": 5}, "v1") == a
+    False
+    """
+    payload = {
+        "kind": str(kind),
+        "spec": canonical_config(spec),
+        "code_version": str(code_ver if code_ver is not None
+                            else code_version()),
+    }
+    text = dumps_canonical(payload, indent=None)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -1,0 +1,116 @@
+"""Process-wide active store: the harness/CLI integration seam.
+
+Deep call sites (the spill experiment driver, long-lived engines) do not
+thread an :class:`~repro.store.db.ArtifactStore` handle through every
+signature.  Instead one store can be *activated* for the process
+(:func:`activated` context manager, used by ``run_grid(...,
+store_path=...)`` and the server), and construction-adjacent code asks
+:func:`attach_compiled` to swap a freshly built CDAG's compile step for
+a store lookup:
+
+* store active + snapshot cached  -> the stored CSR arrays are adopted
+  via :meth:`~repro.core.cdag.CDAG.adopt_compiled` (validated against
+  the CDAG; a mismatching artifact is ignored and recompiled);
+* store active + miss             -> the CDAG compiles locally and the
+  snapshot is published for the next cell/process;
+* no store active                 -> no-op (zero overhead; this is the
+  default for every existing call path).
+
+Everything downstream (``cdag.compiled()`` consumers) is unchanged, and
+any mutation of the CDAG after adoption drops the snapshot exactly like
+a locally compiled one — the cache can never outlive the graph it
+describes.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Mapping, Optional
+
+from .codec import compiled_from_payload, serialize_compiled
+from .db import ArtifactStore
+from .keys import artifact_key, code_version
+
+__all__ = [
+    "get_active",
+    "set_active",
+    "activated",
+    "attach_compiled",
+]
+
+_mu = threading.Lock()
+_ACTIVE: Optional[ArtifactStore] = None
+
+
+def get_active() -> Optional[ArtifactStore]:
+    """The process's active store, or ``None``."""
+    return _ACTIVE
+
+
+def set_active(store: Optional[ArtifactStore]) -> Optional[ArtifactStore]:
+    """Install ``store`` as the process-wide active store; returns the
+    previous one (callers restoring state should prefer
+    :func:`activated`)."""
+    global _ACTIVE
+    with _mu:
+        previous, _ACTIVE = _ACTIVE, store
+    return previous
+
+
+@contextmanager
+def activated(store: Optional[ArtifactStore]):
+    """``with activated(store): ...`` — scoped activation (re-entrant;
+    ``None`` deactivates within the scope)."""
+    previous = set_active(store)
+    try:
+        yield store
+    finally:
+        set_active(previous)
+
+
+def attach_compiled(
+    cdag,
+    builder: str,
+    params: Mapping,
+    seed: int = 0,
+) -> bool:
+    """Adopt (or publish) the compiled snapshot for ``cdag`` through the
+    active store; returns ``True`` on a cache hit that was adopted.
+
+    ``(builder, params, seed)`` must fully determine the CDAG — the
+    caller names the construction, exactly like a harness cell.  With no
+    active store this is a no-op returning ``False``.
+    """
+    store = get_active()
+    if store is None:
+        return False
+    from ..evaluation.manifest import canonical_config, dumps_canonical
+
+    spec = {
+        "builder": str(builder),
+        "params": canonical_config(params),
+        "seed": int(seed),
+    }
+    key = artifact_key("compiled", spec)
+    payload = store.get(key)
+    if payload is not None:
+        try:
+            snapshot = compiled_from_payload(payload)
+        except (ValueError, KeyError):
+            snapshot = None  # undecodable artifact: treat as corrupt
+        if snapshot is not None and cdag.adopt_compiled(snapshot):
+            return True
+        # Stored snapshot does not describe this CDAG (or failed to
+        # decode): drop it and fall through to republish a correct one.
+        store.delete(key)
+    store.put(
+        key,
+        serialize_compiled(cdag.compiled()),
+        kind="compiled",
+        builder=str(builder),
+        seed=int(seed),
+        spec_json=dumps_canonical(spec, indent=None),
+        code_ver=code_version(),
+    )
+    return False

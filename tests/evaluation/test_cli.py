@@ -18,7 +18,8 @@ class TestParser:
         parser = build_parser()
         for cmd in ("table1", "composite", "cg", "gmres", "jacobi",
                     "matmul", "validate", "distsim", "balance", "spill",
-                    "sweep", "reproduce", "bench-view", "all"):
+                    "sweep", "reproduce", "bench-view", "serve", "cache",
+                    "all"):
             args = parser.parse_args([cmd])
             assert args.command == cmd
 

@@ -1,0 +1,72 @@
+"""``run_grid(..., store_path=...)``: sweeps through the artifact store
+produce byte-identical results and actually reuse cached snapshots."""
+
+import json
+from pathlib import Path
+
+from repro.evaluation.harness import run_grid, smoke_grid
+from repro.store import ArtifactStore
+
+ARTIFACTS = ("manifest.json", "metrics.jsonl", "summary.json")
+
+
+def _cell_bytes(root):
+    """Committed cell artifacts, byte for byte — except the manifest's
+    ``created_utc`` wall-clock stamp, which legitimately differs between
+    two otherwise-identical sweeps."""
+    root = Path(root)
+    out = {}
+    for cell in sorted(p.name for p in root.iterdir() if p.is_dir()):
+        for name in ARTIFACTS:
+            raw = (root / cell / name).read_bytes()
+            if name == "manifest.json":
+                manifest = json.loads(raw)
+                manifest.get("provenance", {}).pop("created_utc", None)
+                raw = json.dumps(manifest, sort_keys=True).encode()
+            out[(cell, name)] = raw
+    return out
+
+
+def test_store_sweep_is_byte_identical_to_plain_sweep(tmp_path):
+    specs = smoke_grid(seed=0)
+    plain = run_grid(specs, tmp_path / "plain", log=lambda m: None)
+    stored = run_grid(
+        specs,
+        tmp_path / "stored",
+        store_path=tmp_path / "store.db",
+        log=lambda m: None,
+    )
+    assert stored.executed == plain.executed
+    assert not stored.failed
+    assert _cell_bytes(tmp_path / "stored") == _cell_bytes(
+        tmp_path / "plain"
+    )
+
+
+def test_store_sweep_reuses_compiled_snapshots(tmp_path):
+    specs = [s for s in smoke_grid(seed=0) if s.experiment == "spill"]
+    db = tmp_path / "store.db"
+    run_grid(specs, tmp_path / "first", store_path=db, log=lambda m: None)
+    with ArtifactStore(db) as store:
+        stats = store.stats()
+        assert stats["kinds"]["compiled"]["entries"] == len(specs)
+    # second sweep over a fresh results root: every cell adopts its
+    # snapshot from the store instead of recompiling
+    run_grid(specs, tmp_path / "second", store_path=db, log=lambda m: None)
+    with ArtifactStore(db) as store:
+        assert store.stats()["kinds"]["compiled"]["entries"] == len(specs)
+    assert _cell_bytes(tmp_path / "second") == _cell_bytes(
+        tmp_path / "first"
+    )
+
+
+def test_store_survives_resume(tmp_path):
+    specs = smoke_grid(seed=0)
+    db = tmp_path / "store.db"
+    out = tmp_path / "results"
+    first = run_grid(specs, out, store_path=db, log=lambda m: None)
+    assert len(first.executed) == len(specs)
+    second = run_grid(specs, out, resume=True, store_path=db,
+                      log=lambda m: None)
+    assert second.executed == []
+    assert len(second.skipped) == len(specs)

@@ -1,0 +1,208 @@
+"""Randomized differential suite: every cached artifact is byte-identical
+to its freshly computed counterpart.
+
+The store path is ``fresh_* -> codec -> SQLite``, so this pins the whole
+invariant chain: a warm hit can never drift from a recomputation — not
+across calls, not across store reopenings, not across seeds.  Also pins
+the adoption-safety edge: a CDAG mutated after ``compiled()`` invalidates
+its snapshot, and a stored snapshot that no longer matches the graph is
+rejected and republished rather than silently adopted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    ArtifactStore,
+    activated,
+    attach_compiled,
+    cached_bound,
+    cached_compiled_payload,
+    cached_schedule,
+    cached_spill,
+    fresh_bound,
+    fresh_compiled_payload,
+    fresh_schedule,
+    fresh_spill,
+)
+
+# (builder, params) points spanning every family; seeds only matter for
+# the forest builder but are exercised everywhere.
+CASES = [
+    ("chain", {"length": 12}),
+    ("chains", {"num_chains": 3, "length": 5}),
+    ("tree", {"num_leaves": 8, "arity": 2}),
+    ("bcast", {"num_leaves": 9, "arity": 3}),
+    ("diamond", {"width": 4, "depth": 3}),
+    ("grid", {"shape": [4, 4], "timesteps": 2}),
+    ("butterfly", {"log_n": 3}),
+    ("pyramid", {"base": 5}),
+    ("outer", {"n": 3}),
+    ("dense", {"num_inputs": 3, "num_outputs": 4}),
+    ("star_spill", {"ops": 6, "degree": 3}),
+    ("forest", {"components": 3, "component_size": 6}),
+]
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ArtifactStore(tmp_path / "diff.db") as s:
+        yield s
+
+
+def _random_case(rng):
+    builder, params = CASES[int(rng.integers(len(CASES)))]
+    seed = int(rng.integers(4))
+    return builder, params, seed
+
+
+class TestCompiledByteIdentity:
+    @pytest.mark.parametrize("builder,params", CASES)
+    def test_cached_equals_fresh(self, store, builder, params):
+        cold, hit_cold = cached_compiled_payload(store, builder, params)
+        warm, hit_warm = cached_compiled_payload(store, builder, params)
+        assert (hit_cold, hit_warm) == (False, True)
+        assert cold == warm == fresh_compiled_payload(builder, params)
+
+    def test_randomized_sweep_across_reopen(self, tmp_path):
+        rng = np.random.default_rng(7)
+        path = tmp_path / "sweep.db"
+        expected = {}
+        with ArtifactStore(path) as store:
+            for _ in range(20):
+                builder, params, seed = _random_case(rng)
+                payload, _ = cached_compiled_payload(
+                    store, builder, params, seed
+                )
+                assert payload == fresh_compiled_payload(
+                    builder, params, seed
+                )
+                expected[(builder, seed)] = payload
+        # a different process/epoch reopening the same file must see
+        # bit-identical artifacts and hit on all of them
+        with ArtifactStore(path) as store:
+            for (builder, seed), payload in expected.items():
+                again, hit = cached_compiled_payload(
+                    store, builder, dict(CASES)[builder], seed
+                )
+                assert hit is True and again == payload
+
+    def test_forest_seeds_are_distinct_artifacts(self, store):
+        p0, _ = cached_compiled_payload(store, "forest", seed=0)
+        p1, _ = cached_compiled_payload(store, "forest", seed=1)
+        assert p0 != p1
+        assert p0 == fresh_compiled_payload("forest", seed=0)
+        assert p1 == fresh_compiled_payload("forest", seed=1)
+
+
+class TestDerivedArtifacts:
+    @pytest.mark.parametrize("kind", ["dfs", "minlive"])
+    def test_schedule_matches_fresh(self, store, kind):
+        rng = np.random.default_rng(11)
+        for _ in range(8):
+            builder, params, seed = _random_case(rng)
+            ids, _ = cached_schedule(store, builder, params, seed, kind)
+            np.testing.assert_array_equal(
+                ids, fresh_schedule(builder, params, seed, kind)
+            )
+            ids2, hit = cached_schedule(store, builder, params, seed, kind)
+            assert hit is True
+            np.testing.assert_array_equal(ids2, ids)
+
+    def test_bound_matches_fresh(self, store):
+        rng = np.random.default_rng(13)
+        seen = set()
+        for _ in range(8):
+            builder, params, seed = _random_case(rng)
+            s = int(rng.integers(2, 6))
+            cold, hit0 = cached_bound(store, builder, params, seed, s=s)
+            warm, hit1 = cached_bound(store, builder, params, seed, s=s)
+            assert hit0 is ((builder, seed, s) in seen)
+            assert hit1 is True
+            seen.add((builder, seed, s))
+            assert cold == warm == fresh_bound(builder, params, seed, s=s)
+
+    def test_analytical_and_hong_kung_bounds(self, store):
+        a, _ = cached_bound(
+            store, "butterfly", {"log_n": 3}, s=2, method="analytical"
+        )
+        assert a == fresh_bound(
+            "butterfly", {"log_n": 3}, s=2, method="analytical"
+        )
+        hk, _ = cached_bound(
+            store, "chain", {"length": 12}, s=2, method="hong_kung",
+            u_upper=40.0,
+        )
+        assert hk == fresh_bound(
+            "chain", {"length": 12}, s=2, method="hong_kung", u_upper=40.0
+        )
+
+    def test_spill_row_matches_fresh(self, store):
+        params = {"workload": "forest", "components": 3,
+                  "component_size": 8}
+        cold, hit0 = cached_spill(store, params, seed=2)
+        warm, hit1 = cached_spill(store, params, seed=2)
+        assert (hit0, hit1) == (False, True)
+        assert cold == warm == fresh_spill(params, seed=2)
+
+
+class TestAdoptionSafety:
+    def test_mutation_after_compiled_drops_snapshot(self):
+        from repro.core.builders import chain_cdag
+
+        cdag = chain_cdag(6)
+        c = cdag.compiled()
+        cdag.add_vertex("extra")
+        cdag.add_edge(("chain", 6), "extra")
+        assert cdag.compiled() is not c
+        assert cdag.compiled().n == c.n + 1
+
+    def test_mutated_cdag_does_not_reuse_stored_snapshot(self, store):
+        """A CDAG that drifted from the stored artifact must reject the
+        snapshot, recompile, and republish — never adopt stale arrays."""
+        from repro.core.builders import chain_cdag
+
+        with activated(store):
+            base = chain_cdag(6)
+            assert attach_compiled(base, "mut-chain", {"n": 6}) is False
+            # same key, different graph: the stored snapshot must NOT be
+            # adopted...
+            grown = chain_cdag(6)
+            grown.add_vertex("extra")
+            grown.add_edge(("chain", 6), "extra")
+            assert attach_compiled(grown, "mut-chain", {"n": 6}) is False
+            assert grown.compiled().n == 8
+            # ...and the store now holds the republished (grown) version,
+            # so the original graph rejects it too and republishes back.
+            base2 = chain_cdag(6)
+            assert attach_compiled(base2, "mut-chain", {"n": 6}) is False
+            assert base2.compiled().n == 7
+
+    def test_attach_adopts_on_clean_hit(self, store):
+        from repro.core.builders import diamond_cdag
+
+        with activated(store):
+            first = diamond_cdag(3, 3)
+            assert attach_compiled(first, "dia", {"w": 3, "d": 3}) is False
+            second = diamond_cdag(3, 3)
+            assert attach_compiled(second, "dia", {"w": 3, "d": 3}) is True
+            assert second.compiled().n == first.compiled().n
+        # no active store -> no-op
+        third = diamond_cdag(3, 3)
+        assert attach_compiled(third, "dia", {"w": 3, "d": 3}) is False
+
+    def test_adopted_snapshot_produces_identical_payload(self, store):
+        """Serialization of an adopted snapshot is byte-identical to a
+        recompiled one (the invariant run_grid(..., store_path=...)
+        rides on)."""
+        from repro.core.builders import grid_stencil_cdag
+        from repro.store.codec import serialize_compiled
+
+        with activated(store):
+            a = grid_stencil_cdag((4, 4), 2)
+            attach_compiled(a, "g", {"s": [4, 4], "t": 2})
+            b = grid_stencil_cdag((4, 4), 2)
+            assert attach_compiled(b, "g", {"s": [4, 4], "t": 2}) is True
+            assert serialize_compiled(b.compiled()) == serialize_compiled(
+                a.compiled()
+            )

@@ -3,7 +3,9 @@
 Two things ride in the plain ``pytest -x -q`` invocation:
 
 * the **doctest run** over the documented public surface
-  (``core/ordering.py``, ``pebbling/state.py``, ``pebbling/parallel.py``)
+  (``core/ordering.py``, ``pebbling/state.py``, ``pebbling/parallel.py``,
+  plus the artifact-store/service layer: ``store/keys.py``,
+  ``store/db.py``, ``store/analysis.py``, ``service/server.py``)
   — the module-level usage examples those docstrings show must execute as
   written (the same modules can be checked standalone with
   ``PYTHONPATH=src python -m pytest --doctest-modules src/repro/core/ordering.py``);
@@ -23,6 +25,10 @@ import pytest
 import repro.core.ordering
 import repro.pebbling.parallel
 import repro.pebbling.state
+import repro.service.server
+import repro.store.analysis
+import repro.store.db
+import repro.store.keys
 from repro.pebbling.state import OP_COMPUTE, OP_DELETE, OP_LOAD
 from repro.pebbling.workloads import prbw_pump_game
 
@@ -30,6 +36,10 @@ DOCTEST_MODULES = [
     repro.core.ordering,
     repro.pebbling.state,
     repro.pebbling.parallel,
+    repro.store.keys,
+    repro.store.db,
+    repro.store.analysis,
+    repro.service.server,
 ]
 
 SMOKE_MOVES = 1_000_000
