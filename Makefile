@@ -2,8 +2,9 @@
 # CI (.github/workflows/ci.yml) calls these same targets, one per job.
 PY := PYTHONPATH=src python
 
-.PHONY: test test-sharded test-kernel test-harness test-service doctest \
-  bench bench-smoke bench-kernel bench-service bench-guard lint check
+.PHONY: test test-sharded test-kernel test-harness test-service \
+  test-fleet doctest bench bench-smoke bench-kernel bench-service \
+  bench-guard lint check
 
 # Tier-1 suite (includes the doctest run over the documented public
 # surface and the ~1 s bench smoke in tests/test_docs_and_bench_smoke.py).
@@ -45,6 +46,13 @@ test-service:
 	  tests/evaluation/test_harness_store.py \
 	  tests/evaluation/test_harness_jobs.py -q
 
+# Fleet suites: controller queue/lease/retry unit tests, the localhost
+# controller + 2-worker end-to-end sweep (byte-identical to
+# `sweep --jobs 1`), and the fault-injection suite (SIGKILLed worker,
+# dropped heartbeats, SIGKILLed controller mid-grid + restart).
+test-fleet:
+	$(PY) -m pytest tests/fleet -q
+
 # Standalone doctest pass over the documented modules.
 doctest:
 	$(PY) -m pytest --doctest-modules \
@@ -78,7 +86,8 @@ bench-kernel:
 	  --benchmark-disable
 
 # CI bench-regression guard: smoke-measure into a scratch json and fail
-# on >3x regressions of the movelog/sched/strategy entries.
+# on >3x regressions of the movelog/sched/strategy/service/fleet
+# entries.
 bench-guard:
 	$(PY) benchmarks/check_bench.py
 

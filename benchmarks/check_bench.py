@@ -10,7 +10,9 @@ Guarded prefixes: ``movelog/``, ``sched/``, ``strategy/`` (which
 includes the ``strategy/sharded_*`` multiprocess-runner entries and the
 ``strategy/kernel_*`` fused-kernel entries) and ``service/`` (the
 artifact-store warm/cold paths and bound-server latencies from
-``bench_service.py``) — the hot-path numbers the compiled backend,
+``bench_service.py``) and ``fleet/`` (controller HTTP latencies and
+the two-worker sweep overhead from ``bench_fleet.py``) — the hot-path
+numbers the compiled backend,
 columnar log, batched/sharded/kernel strategy loops, and memoized
 service exist for.  Only keys present in both files are compared
 (smoke mode measures the smallest sizes; committed entries at other
@@ -48,7 +50,9 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 COMMITTED = REPO / "BENCH_core.json"
-GUARDED_PREFIXES = ("movelog/", "sched/", "strategy/", "service/")
+GUARDED_PREFIXES = (
+    "movelog/", "sched/", "strategy/", "service/", "fleet/"
+)
 #: each of these prefixes must overlap the baseline in >= 1 entry
 REQUIRED_GROUPS = (
     "movelog/",
@@ -59,6 +63,8 @@ REQUIRED_GROUPS = (
     "strategy/kernel_",
     "service/",
     "service/compiled_warm_",
+    "fleet/",
+    "fleet/sweep_",
 )
 THRESHOLD = float(os.environ.get("BENCH_GUARD_THRESHOLD", "3.0"))
 
@@ -77,6 +83,7 @@ def run_smoke(out_json: Path) -> None:
         sys.executable, "-m", "pytest",
         str(REPO / "benchmarks" / "bench_compiled_core.py"),
         str(REPO / "benchmarks" / "bench_service.py"),
+        str(REPO / "benchmarks" / "bench_fleet.py"),
         "-q", "-m", "not bench", "--benchmark-disable",
     ]
     print("+", " ".join(cmd), flush=True)

@@ -14,6 +14,10 @@ Usage::
     python -m repro.cli spill --workload star --ops 2000 --workers 2
     python -m repro.cli sweep --out results --grid smoke --resume
     python -m repro.cli sweep --out results --jobs 4 --store repro-store.db
+    python -m repro.cli sweep --grid smoke --fleet http://127.0.0.1:8199
+    python -m repro.cli fleet serve --root results --port 8199
+    python -m repro.cli fleet worker http://127.0.0.1:8199 --root results
+    python -m repro.cli fleet status http://127.0.0.1:8199
     python -m repro.cli reproduce results
     python -m repro.cli bench-view results --out BENCH_core.json
     python -m repro.cli serve --db repro-store.db --port 8177
@@ -48,6 +52,16 @@ replays every manifest in a results store and verifies the regenerated
 rows against the stored artifacts within per-metric tolerances (nonzero
 exit naming each failing cell).  ``bench-view`` derives a
 ``BENCH_core.json``-style view over a results store.
+
+``fleet`` runs distributed sweeps (:mod:`repro.fleet`): ``fleet
+serve`` starts the controller that owns the cell queue over a shared
+results root, ``fleet worker`` attaches a polling worker (``--slots N``
+caps its local cell processes), and ``fleet status`` prints the
+controller's full queue/lease/worker state as JSON.  ``sweep --fleet
+URL`` submits the grid to a running controller instead of executing
+locally and polls until the fleet finishes — always with resume
+semantics, writing into the *controller's* results root, byte-identical
+to a local ``sweep --jobs 1``.  See ``docs/fleet.md``.
 
 ``serve`` starts the long-running memoized bound server
 (:mod:`repro.service`) over a content-addressed artifact store
@@ -181,6 +195,67 @@ def build_parser() -> argparse.ArgumentParser:
                    help="activate the content-addressed artifact store at "
                    "this SQLite path (cells adopt cached compiled "
                    "snapshots; results are byte-identical)")
+    p.add_argument("--fleet", default=None, metavar="URL",
+                   help="submit the grid to a running fleet controller "
+                   "instead of executing locally, and poll until done "
+                   "(always resume semantics; cells land in the "
+                   "controller's results root, so --out/--jobs/--store "
+                   "are ignored)")
+
+    p = sub.add_parser(
+        "fleet",
+        help="distributed sweeps: controller + polling workers over a "
+        "shared results root (serve | worker | status)",
+    )
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+    fp = fleet_sub.add_parser(
+        "serve",
+        help="run the fleet controller (cell queue, leases, retries)",
+    )
+    fp.add_argument("--root", default="results",
+                    help="shared results root the fleet writes into")
+    fp.add_argument("--host", default="127.0.0.1")
+    fp.add_argument("--port", type=int, default=8199,
+                    help="listen port (0 picks a free one)")
+    fp.add_argument("--grid", choices=["default", "smoke"], default=None,
+                    help="submit this named grid at startup (resume "
+                    "semantics); omit to wait for 'sweep --fleet'")
+    fp.add_argument("--seed", type=int, default=0,
+                    help="grid seed for --grid")
+    fp.add_argument("--lease-ttl", type=float, default=30.0,
+                    help="lease validity window in seconds; a worker "
+                    "that stops heartbeating loses its cells after this")
+    fp.add_argument("--max-retries", type=int, default=3,
+                    help="re-queues per cell (failure or lease expiry) "
+                    "before it is marked permanently failed")
+    fp.add_argument("--backoff", type=float, default=1.0,
+                    help="base re-queue backoff in seconds (doubles per "
+                    "attempt, capped at 60s)")
+    fp = fleet_sub.add_parser(
+        "worker",
+        help="attach a polling worker to a running controller",
+    )
+    fp.add_argument("url", help="controller base URL")
+    fp.add_argument("--root", default="results",
+                    help="shared results root (same tree as the "
+                    "controller's)")
+    fp.add_argument("--name", default=None,
+                    help="worker identity (default: <hostname>-<pid>)")
+    fp.add_argument("--slots", type=int, default=1,
+                    help="local concurrency cap: at most N cell "
+                    "processes at once")
+    fp.add_argument("--store", default=None, metavar="DB",
+                    help="artifact-store SQLite path forwarded to every "
+                    "cell process")
+    fp.add_argument("--cell-timeout", type=float, default=None,
+                    help="wall-clock limit per cell in seconds")
+    fp.add_argument("--keep-alive", action="store_true",
+                    help="idle and wait for the next grid instead of "
+                    "exiting when the current one completes")
+    fp = fleet_sub.add_parser(
+        "status", help="print a controller's full state as JSON"
+    )
+    fp.add_argument("url", help="controller base URL")
 
     p = sub.add_parser(
         "reproduce",
@@ -299,6 +374,18 @@ def _run_sweep(args: argparse.Namespace) -> int:
         if not specs:
             print(f"no grid cells match experiments {sorted(keep)}")
             return 2
+    if args.fleet:
+        from .fleet import fleet_sweep
+
+        status = fleet_sweep(args.fleet, specs)
+        if status["failed"]:
+            names = ", ".join(
+                f"{label} ({reason})"
+                for label, reason in sorted(status["failed"].items())
+            )
+            print(f"fleet sweep FAILED for cell(s): {names}")
+            return 1
+        return 0
     result = run_grid(
         specs,
         args.out,
@@ -340,6 +427,43 @@ def _run_bench_view(args: argparse.Namespace) -> int:
         )
     else:
         print(dumps_canonical(bench_view(args.results_dir)), end="")
+    return 0
+
+
+def _run_fleet(args: argparse.Namespace) -> int:
+    """The ``fleet`` subcommand family: serve | worker | status."""
+    from .fleet import FleetClient, FleetWorker, serve_fleet
+
+    if args.fleet_command == "serve":
+        grid = None
+        if args.grid:
+            from .evaluation.harness import GRIDS
+
+            grid = GRIDS[args.grid](args.seed)
+        serve_fleet(
+            args.root,
+            host=args.host,
+            port=args.port,
+            grid=grid,
+            lease_ttl_s=args.lease_ttl,
+            max_retries=args.max_retries,
+            backoff_s=args.backoff,
+        )
+        return 0
+    if args.fleet_command == "worker":
+        FleetWorker(
+            args.url,
+            args.root,
+            name=args.name,
+            slots=args.slots,
+            store_path=args.store,
+            cell_timeout=args.cell_timeout,
+            exit_when_done=not args.keep_alive,
+        ).run()
+        return 0
+    from .evaluation.manifest import dumps_canonical
+
+    print(dumps_canonical(FleetClient(args.url, retries=1).status()))
     return 0
 
 
@@ -444,6 +568,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_reproduce(args)
     if args.command == "bench-view":
         return _run_bench_view(args)
+    if args.command == "fleet":
+        return _run_fleet(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "cache":

@@ -112,6 +112,7 @@ __all__ = [
     "load_grid_file",
     "plan_resume",
     "scan_results_root",
+    "describe_worker_exit",
     "run_grid",
     "reproduce",
     "bench_view",
@@ -622,6 +623,21 @@ def _mp_context():
     )
 
 
+def describe_worker_exit(exitcode: Optional[int]) -> str:
+    """Human-readable failure reason for a dead worker process.
+
+    Negative exit codes are deaths by signal; name the signal (``worker
+    killed by SIGKILL``) instead of leaking the raw ``-9``.
+    """
+    if exitcode is not None and exitcode < 0:
+        try:
+            name = signal.Signals(-exitcode).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            name = f"signal {-exitcode}"
+        return f"worker killed by {name}"
+    return f"worker exited with code {exitcode}"
+
+
 def _run_cells_parallel(
     to_run: Sequence[RunSpec],
     root: Path,
@@ -639,46 +655,59 @@ def _run_cells_parallel(
     pending = deque(to_run)
     running: Dict[str, Tuple] = {}  # label -> (proc, deadline)
     done: Dict[str, Optional[str]] = {}  # label -> None | failure reason
-    while pending or running:
-        while pending and len(running) < jobs:
-            spec = pending.popleft()
-            run_dir = root / spec.label
-            if run_dir.exists():
-                shutil.rmtree(run_dir)
-            run_dir.mkdir()
-            log(f"[{decisions[spec.label]}]".ljust(10) + spec.label)
-            proc = ctx.Process(
-                target=_cell_process_main,
-                args=(spec, str(run_dir), registry, store_path),
-            )
-            proc.start()
-            deadline = (
-                None if cell_timeout is None
-                else time.monotonic() + cell_timeout
-            )
-            running[spec.label] = (proc, deadline)
-        for label, (proc, deadline) in list(running.items()):
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                spec = pending.popleft()
+                run_dir = root / spec.label
+                if run_dir.exists():
+                    shutil.rmtree(run_dir)
+                run_dir.mkdir()
+                log(f"[{decisions[spec.label]}]".ljust(10) + spec.label)
+                proc = ctx.Process(
+                    target=_cell_process_main,
+                    args=(spec, str(run_dir), registry, store_path),
+                )
+                proc.start()
+                deadline = (
+                    None if cell_timeout is None
+                    else time.monotonic() + cell_timeout
+                )
+                running[spec.label] = (proc, deadline)
+            for label, (proc, deadline) in list(running.items()):
+                if proc.is_alive():
+                    if deadline is not None and time.monotonic() >= deadline:
+                        proc.terminate()
+                        proc.join(5.0)
+                        if proc.is_alive():  # pragma: no cover - stuck
+                            proc.kill()
+                            proc.join()
+                        done[label] = f"timed out after {cell_timeout:g}s"
+                        log(f"[timeout] {label} ({done[label]}; partial "
+                            "directory left for --resume)")
+                        del running[label]
+                    continue
+                proc.join()
+                if proc.exitcode == 0:
+                    done[label] = None
+                else:
+                    done[label] = describe_worker_exit(proc.exitcode)
+                    log(f"[failed]  {label} ({done[label]})")
+                del running[label]
+            if running:
+                time.sleep(0.01)
+    finally:
+        # A KeyboardInterrupt (or a log()/scheduling exception) must not
+        # orphan live workers: terminate and reap every one of them so
+        # their partial run directories are left quiescent for --resume.
+        for label, (proc, _deadline) in running.items():
             if proc.is_alive():
-                if deadline is not None and time.monotonic() >= deadline:
-                    proc.terminate()
-                    proc.join(5.0)
-                    if proc.is_alive():  # pragma: no cover - stuck worker
-                        proc.kill()
-                        proc.join()
-                    done[label] = f"timed out after {cell_timeout:g}s"
-                    log(f"[timeout] {label} ({done[label]}; partial "
-                        "directory left for --resume)")
-                    del running[label]
-                continue
-            proc.join()
-            if proc.exitcode == 0:
-                done[label] = None
-            else:
-                done[label] = f"worker exited with code {proc.exitcode}"
-                log(f"[failed]  {label} ({done[label]})")
-            del running[label]
-        if running:
-            time.sleep(0.01)
+                proc.terminate()
+        for label, (proc, _deadline) in running.items():
+            proc.join(5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.kill()
+                proc.join()
     completed = [s.label for s in to_run if done.get(s.label) is None]
     failed = [(s.label, done[s.label]) for s in to_run
               if done.get(s.label) is not None]

@@ -1,0 +1,37 @@
+"""Controller/worker fleet: distributed experiment sweeps.
+
+The layer above ``sweep --jobs N`` (per-cell worker processes on one
+machine): a small stdlib-HTTP **controller** owns a persistent cell
+queue derived from :func:`repro.evaluation.harness.plan_resume` over a
+shared results root, and polling **workers** — on the same machine or
+any host that can reach the controller and the results root — lease
+cells, execute them through the harness's crash-isolated cell-process
+machinery, and report back.  Leases carry a TTL renewed by heartbeats;
+an expired lease re-queues its cell with bounded retries and
+exponential backoff, so worker crashes, hangs and partitions cost one
+lease window, never the sweep.  Results are byte-identical to
+``sweep --jobs 1`` and the committed store *is* the controller's
+durable state: restarting the controller re-plans over the results
+root and never recomputes a committed cell.
+
+See ``docs/fleet.md`` for the wire protocol and operational notes.
+"""
+
+from .client import FleetClient
+from .controller import (
+    DEFAULT_FLEET_PORT,
+    FleetController,
+    make_fleet_server,
+    serve_fleet,
+)
+from .worker import FleetWorker, fleet_sweep
+
+__all__ = [
+    "DEFAULT_FLEET_PORT",
+    "FleetClient",
+    "FleetController",
+    "FleetWorker",
+    "fleet_sweep",
+    "make_fleet_server",
+    "serve_fleet",
+]

@@ -417,6 +417,34 @@ class _SpillStore:
             if os.path.exists(p)
         )
 
+    def concat_from(self, other: "_SpillStore", vid_map=None) -> None:
+        """Append every block of ``other`` by direct column-file copy.
+
+        The position-ordered fast path of :meth:`MoveLog.merge`: three
+        of the four column files are concatenated with OS-buffered block
+        copies (``shutil.copyfileobj`` — no rows ever materialize in
+        Python), and only the 4-byte vertex-id column is streamed
+        through numpy when a ``vid_map`` translation is required.
+        ``other`` must be fully flushed; it is left untouched.
+        """
+        for name, dtype in self._SPEC:
+            other._files[name].flush()
+            if name == "vids" and vid_map is not None:
+                mm = np.memmap(
+                    other.paths[name], dtype=dtype, mode="r",
+                    shape=(other.rows,),
+                )
+                step = 1 << 20
+                for start in range(0, other.rows, step):
+                    np.ascontiguousarray(
+                        vid_map[mm[start:start + step]], dtype=dtype
+                    ).tofile(self._files[name])
+            else:
+                with open(other.paths[name], "rb") as src:
+                    shutil.copyfileobj(src, self._files[name], 1 << 20)
+        self._block_rows.extend(other._block_rows)
+        self.rows += other.rows
+
     def detach(self) -> dict:
         """Flush and release the files *without* deleting them.
 
@@ -719,6 +747,18 @@ class MoveLog:
         (``spill=...``).  Only the key arrays are held in RAM (8
         bytes/move).
 
+        **Position-ordered fast path.** When the inputs' key ranges do
+        not interleave — ``max(keys[j]) <= min(keys[j+1])`` for every
+        consecutive pair in input order, the contiguous-shard case of
+        the sharded runner — the k-way cursor machinery is skipped
+        entirely and the logs are concatenated in input order.  Spilled
+        inputs feeding a spilled output are concatenated at the *file*
+        level (``shutil.copyfileobj`` over the column files; only the
+        vertex-id column streams through numpy, and only when a vid map
+        must be applied), so the parent never pages move rows at all.
+        The resulting log is row-for-row identical to the general
+        path's.
+
         >>> a, b = MoveLog(), MoveLog()
         >>> a.append_ids(OP_LOAD, 0); a.append_ids(OP_DELETE, 0)
         >>> b.append_ids(OP_COMPUTE, 1)
@@ -730,7 +770,7 @@ class MoveLog:
             raise ValueError("merge needs one key array per log")
         if vid_maps is not None and len(vid_maps) != len(logs):
             raise ValueError("merge needs one vid map (or None) per log")
-        cursors = []
+        entries = []  # (index, log, keys, vid_map) of the non-empty inputs
         for j, (log, key) in enumerate(zip(logs, keys)):
             key = np.ascontiguousarray(key, dtype=np.int64)
             if len(key) != len(log):
@@ -751,8 +791,30 @@ class MoveLog:
                         "vid maps require fully bound logs"
                     )
             if len(log):
-                cursors.append(_MergeCursor(log, key, j, vm))
+                entries.append((j, log, key, vm))
         out = cls(compiled=compiled, block_size=block_size, spill=spill)
+        # Ties across inputs resolve to the lower input index, so
+        # concatenation in input order is exact whenever consecutive
+        # key ranges touch but never cross.
+        if all(
+            entries[t][2][-1] <= entries[t + 1][2][0]
+            for t in range(len(entries) - 1)
+        ):
+            for _j, log, _key, vm in entries:
+                if out._spill is not None and log._spill is not None:
+                    log._flush()
+                    out._flush()
+                    out._spill.concat_from(log._spill, vm)
+                    out._len += len(log)
+                else:
+                    for kinds, vids, locs, srcs in log.iter_chunks():
+                        if vm is not None:
+                            vids = vm[vids]
+                        out.extend_block(kinds, vids, locs, srcs)
+            return out
+        cursors = [
+            _MergeCursor(log, key, j, vm) for j, log, key, vm in entries
+        ]
         pending: List[List[np.ndarray]] = [[], [], [], []]
         pending_rows = 0
 

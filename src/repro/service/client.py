@@ -11,6 +11,8 @@ carrying the server's ``error`` message.
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 from typing import Dict, Optional
@@ -36,11 +38,33 @@ class ServiceClient:
         e.g. ``"http://127.0.0.1:8177"`` (no trailing slash needed).
     timeout_s:
         Per-request socket timeout.
+    retries:
+        How many times to retry a request that failed at the
+        *connection* level (``URLError``: refused, reset, DNS, socket
+        timeout) before giving up.  Every endpoint is pure and
+        idempotent, so retrying is always safe; retries are opt-in
+        (default 0) and bounded, with exponential backoff plus jitter
+        between attempts.  HTTP error responses (the server answered)
+        are never retried — they raise :class:`ServiceError` at once.
+    backoff_s:
+        Base delay of the exponential backoff: attempt ``k`` sleeps
+        ``backoff_s * 2**k`` scaled by a uniform jitter in [0.5, 1.0]
+        (decorrelating a fleet of workers hammering one endpoint).
     """
 
-    def __init__(self, base_url: str, timeout_s: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 60.0,
+        retries: int = 0,
+        backoff_s: float = 0.1,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = float(timeout_s)
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
 
     def _request(
         self, method: str, path: str, body: Optional[Dict] = None
@@ -50,20 +74,32 @@ class ServiceClient:
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        req = urllib.request.Request(
-            self.base_url + path, data=data, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
-                return json.loads(resp.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        for attempt in range(self.retries + 1):
+            req = urllib.request.Request(
+                self.base_url + path, data=data, headers=headers,
+                method=method,
+            )
             try:
-                message = json.loads(exc.read().decode("utf-8")).get(
-                    "error", exc.reason
+                with urllib.request.urlopen(
+                    req, timeout=self.timeout_s
+                ) as resp:
+                    return json.loads(resp.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                try:
+                    message = json.loads(exc.read().decode("utf-8")).get(
+                        "error", exc.reason
+                    )
+                except ValueError:
+                    message = str(exc.reason)
+                raise ServiceError(exc.code, message) from None
+            except (urllib.error.URLError, ConnectionError, TimeoutError):
+                if attempt >= self.retries:
+                    raise
+                time.sleep(
+                    self.backoff_s
+                    * (2 ** attempt)
+                    * (0.5 + 0.5 * random.random())
                 )
-            except ValueError:
-                message = str(exc.reason)
-            raise ServiceError(exc.code, message) from None
 
     def get(self, path: str) -> Dict:
         return self._request("GET", path)

@@ -51,6 +51,7 @@ import os
 import sqlite3
 import threading
 import time
+import uuid
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple
 
@@ -79,6 +80,11 @@ CREATE INDEX IF NOT EXISTS idx_artifacts_lru ON artifacts(last_used_s);
 CREATE TABLE IF NOT EXISTS store_meta (
     k TEXT NOT NULL PRIMARY KEY,
     v TEXT NOT NULL
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS claims (
+    key        TEXT NOT NULL PRIMARY KEY,
+    owner      TEXT NOT NULL,
+    acquired_s REAL NOT NULL
 ) WITHOUT ROWID;
 """
 
@@ -137,11 +143,20 @@ class ArtifactStore:
         path,
         mmap_bytes: int = DEFAULT_MMAP_BYTES,
         busy_timeout_s: float = 30.0,
+        claim_ttl_s: float = 60.0,
+        claim_poll_s: float = 0.05,
     ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.mmap_bytes = int(mmap_bytes)
         self.busy_timeout_s = float(busy_timeout_s)
+        if claim_ttl_s <= 0 or claim_poll_s <= 0:
+            raise ValueError("claim_ttl_s and claim_poll_s must be positive")
+        self.claim_ttl_s = float(claim_ttl_s)
+        self.claim_poll_s = float(claim_poll_s)
+        #: unique per store instance; in-process single-flight already
+        #: serializes same-key callers behind one handle
+        self._owner = f"{os.getpid()}-{uuid.uuid4().hex[:12]}"
         self._local = threading.local()
         self._all_conns = []
         self._conns_mu = threading.Lock()
@@ -153,6 +168,8 @@ class ArtifactStore:
             "puts": 0,
             "corrupt": 0,
             "flights": 0,
+            "cross_flights": 0,
+            "claim_takeovers": 0,
         }
         self._conn()  # create the schema eagerly so failures surface here
 
@@ -283,6 +300,74 @@ class ArtifactStore:
         conn.commit()
         return cur.rowcount > 0
 
+    # ------------------------------------------------------------------
+    # Cross-process claim leases
+    # ------------------------------------------------------------------
+    def _try_claim(self, key: str) -> bool:
+        """Attempt to become the cross-process leader for ``key``.
+
+        One atomic ``INSERT OR IGNORE`` elects the leader; on conflict a
+        compare-and-swap takes over claims older than ``claim_ttl_s``
+        (their owner died mid-compute — SIGKILL, OOM — and can never
+        publish or release).
+        """
+        conn = self._conn()
+        now = time.time()
+        cur = conn.execute(
+            "INSERT OR IGNORE INTO claims (key, owner, acquired_s) "
+            "VALUES (?, ?, ?)",
+            (key, self._owner, now),
+        )
+        if cur.rowcount == 1:
+            conn.commit()
+            return True
+        row = conn.execute(
+            "SELECT owner, acquired_s FROM claims WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            # Released between the insert and the read; the next loop
+            # iteration re-reads the store (the leader just published).
+            conn.commit()
+            return False
+        owner, acquired = row
+        if now - float(acquired) >= self.claim_ttl_s:
+            cur = conn.execute(
+                "UPDATE claims SET owner = ?, acquired_s = ? "
+                "WHERE key = ? AND owner = ? AND acquired_s = ?",
+                (self._owner, now, key, owner, acquired),
+            )
+            conn.commit()
+            if cur.rowcount == 1:
+                self._count("claim_takeovers")
+                return True
+            return False
+        conn.commit()
+        return False
+
+    def _release_claim(self, key: str) -> None:
+        conn = self._conn()
+        conn.execute(
+            "DELETE FROM claims WHERE key = ? AND owner = ?",
+            (key, self._owner),
+        )
+        conn.commit()
+
+    def _claim_blocks(self, key: str) -> bool:
+        """True while a live (non-stale) foreign claim covers ``key``."""
+        row = self._conn().execute(
+            "SELECT acquired_s FROM claims WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return False
+        return time.time() - float(row[0]) < self.claim_ttl_s
+
+    def _artifact_exists(self, key: str) -> bool:
+        """Counter-free existence probe (the follower poll loop must not
+        inflate the hit/miss traffic counters)."""
+        return self._conn().execute(
+            "SELECT 1 FROM artifacts WHERE key = ?", (key,)
+        ).fetchone() is not None
+
     def get_or_compute(
         self,
         key: str,
@@ -296,9 +381,19 @@ class ArtifactStore:
         """``(payload, was_hit)`` — the memoization entry point.
 
         Fast path: a point read.  On miss, the per-key single-flight
-        lock elects one leader to run ``compute()`` and publish; late
+        lock elects one in-process leader to proceed; late in-process
         arrivals block on the lock, then re-read the store and (almost
         always) hit — counted under ``counters["flights"]``.
+
+        The surviving caller then races for the **cross-process** claim
+        row: one process per key wins and computes, every other process
+        waits-and-polls for the leader's publish instead of recomputing
+        (``counters["cross_flights"]``).  A claim older than
+        ``claim_ttl_s`` is treated as abandoned — its owner died
+        mid-compute — and is taken over via compare-and-swap
+        (``counters["claim_takeovers"]``); a compute outliving the TTL
+        can therefore be duplicated across processes, which is benign
+        (content addressing: identical bytes, last write wins).
         """
         payload = self.get(key)
         if payload is not None:
@@ -309,15 +404,47 @@ class ArtifactStore:
             if payload is not None:
                 self._count("flights")
                 return payload, True
+            waited = False
+            while not self._try_claim(key):
+                # A live foreign leader holds the claim: poll until it
+                # publishes (usual case) or the claim vanishes/goes
+                # stale (crash) and the loop re-races for leadership.
+                waited = True
+                if self._artifact_exists(key):
+                    break
+                time.sleep(self.claim_poll_s)
+            else:
+                waited_payload = self.get(key) if waited else None
+                if waited_payload is not None:
+                    # Claimed after the leader published and released.
+                    self._release_claim(key)
+                    self._count("cross_flights")
+                    return waited_payload, True
+                try:
+                    payload = compute()
+                    self.put(
+                        key,
+                        payload,
+                        kind=kind,
+                        builder=builder,
+                        seed=seed,
+                        spec_json=spec_json,
+                        code_ver=code_ver,
+                    )
+                finally:
+                    self._release_claim(key)
+                return payload, False
+            # Broke out of the poll loop: the foreign leader published.
+            payload = self.get(key)
+            if payload is not None:
+                self._count("cross_flights")
+                return payload, True
+            # Published row vanished again (gc/corruption race) —
+            # recompute without coordination; correctness is unaffected.
             payload = compute()
             self.put(
-                key,
-                payload,
-                kind=kind,
-                builder=builder,
-                seed=seed,
-                spec_json=spec_json,
-                code_ver=code_ver,
+                key, payload, kind=kind, builder=builder, seed=seed,
+                spec_json=spec_json, code_ver=code_ver,
             )
             return payload, False
         finally:

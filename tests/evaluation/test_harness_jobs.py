@@ -3,6 +3,9 @@ byte-identical to the sequential sweep, isolate crashes, and enforce
 per-cell timeouts with resumable partials."""
 
 import json
+import multiprocessing
+import os
+import signal
 import time
 from pathlib import Path
 
@@ -11,6 +14,7 @@ import pytest
 from repro.evaluation.harness import (
     ExperimentDef,
     RunSpec,
+    describe_worker_exit,
     plan_resume,
     run_grid,
     scan_results_root,
@@ -51,10 +55,15 @@ def _run_crashy(params, seed):
     raise RuntimeError("worker goes down")
 
 
+def _run_selfkill(params, seed):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
 TEST_REGISTRY = {
     "sleepy": ExperimentDef("sleepy", _run_sleepy, {"sleep_s": 60.0}),
     "quick": ExperimentDef("quick", _run_quick, {"x": 2}),
     "crashy": ExperimentDef("crashy", _run_crashy, {}),
+    "selfkill": ExperimentDef("selfkill", _run_selfkill, {}),
 }
 
 
@@ -120,3 +129,52 @@ def test_sequential_jobs1_still_raises(tmp_path):
     specs = [RunSpec("crashy", {}, 0, "crashy")]
     with pytest.raises(RuntimeError, match="worker goes down"):
         run_grid(specs, tmp_path, registry=TEST_REGISTRY, log=lambda m: None)
+
+
+def test_describe_worker_exit_names_signals():
+    assert describe_worker_exit(-signal.SIGKILL) == "worker killed by SIGKILL"
+    assert describe_worker_exit(-signal.SIGTERM) == "worker killed by SIGTERM"
+    assert describe_worker_exit(1) == "worker exited with code 1"
+    assert describe_worker_exit(None) == "worker exited with code None"
+
+
+def test_signal_killed_cell_is_reported_by_signal_name(tmp_path):
+    specs = [
+        RunSpec("selfkill", {}, 0, "boom"),
+        RunSpec("quick", {"x": 2}, 0, "quick"),
+    ]
+    result = run_grid(specs, tmp_path, registry=TEST_REGISTRY, jobs=2,
+                      log=lambda m: None)
+    assert result.executed == ["quick"]
+    assert result.failed == [("boom", "worker killed by SIGKILL")]
+
+
+def test_interrupted_schedule_loop_reaps_every_worker(tmp_path):
+    """A KeyboardInterrupt (or any exception) escaping the scheduling
+    loop must not orphan live cell processes: they are terminated and
+    joined on the way out, leaving quiescent partials for --resume."""
+    specs = [
+        RunSpec("sleepy", {"sleep_s": 60.0}, 0, f"sleepy{i}")
+        for i in range(2)
+    ]
+    scheduled = []
+
+    def exploding_log(msg):
+        if msg.lstrip().startswith("["):
+            scheduled.append(msg)
+            if len(scheduled) == 2:  # both cells are running now
+                raise KeyboardInterrupt
+
+    before = time.monotonic()
+    with pytest.raises(KeyboardInterrupt):
+        run_grid(specs, tmp_path, registry=TEST_REGISTRY, jobs=2,
+                 log=exploding_log)
+    # cleanup was prompt (termination, not waiting out the sleeps)...
+    assert time.monotonic() - before < 30.0
+    # ...and complete: no stray live cell processes remain
+    assert all(
+        not proc.is_alive() for proc in multiprocessing.active_children()
+    )
+    # the interrupted cells are resumable partials
+    plan = plan_resume(specs, scan_results_root(tmp_path))
+    assert set(plan.partial) == {"sleepy0", "sleepy1"}

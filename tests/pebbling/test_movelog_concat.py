@@ -1,0 +1,125 @@
+"""The I/O-free merge fast path: position-ordered shards feeding a
+spilled output are concatenated at the column-file level (no k-way
+cursor walk) and the result is indistinguishable from the general
+merge."""
+
+import pytest
+
+from repro.pebbling import MoveLog
+from repro.pebbling import state as state_mod
+
+ROWS_A = [(0, 1, -1, -1), (1, 2, -1, -1), (0, 3, -1, -1)]
+ROWS_B = [(2, 4, -1, -1), (0, 5, -1, -1)]
+ROWS_C = [(1, 6, -1, -1)]
+
+
+def _build(rows, spill=False, block_size=2):
+    log = MoveLog(block_size=block_size, spill=spill)
+    for kind, vid, loc, src in rows:
+        log.append_ids(kind, vid, loc, src)
+    return log
+
+
+def _rows(log):
+    kinds, vids, locs, srcs = log.columns()
+    return list(
+        zip(kinds.tolist(), vids.tolist(), locs.tolist(), srcs.tolist())
+    )
+
+
+@pytest.fixture
+def concat_spy(monkeypatch):
+    """Counts engagements of the file-level concat fast path."""
+    calls = []
+    orig = state_mod._SpillStore.concat_from
+
+    def spy(self, other, vid_map=None):
+        calls.append(1)
+        return orig(self, other, vid_map)
+
+    monkeypatch.setattr(state_mod._SpillStore, "concat_from", spy)
+    return calls
+
+
+def test_ordered_spilled_shards_concat_at_file_level(tmp_path, concat_spy):
+    a = _build(ROWS_A, spill=str(tmp_path / "a"))
+    b = _build(ROWS_B, spill=str(tmp_path / "b"))
+    merged = MoveLog.merge(
+        [a, b], [[0, 0, 1], [2, 3]], spill=str(tmp_path / "out")
+    )
+    assert len(concat_spy) == 2  # one file-level append per shard
+    assert merged.is_spilled
+    assert len(merged) == 5
+    assert _rows(merged) == ROWS_A + ROWS_B
+    for log in (a, b, merged):
+        log.close()
+
+
+def test_boundary_equal_keys_still_take_the_fast_path(tmp_path, concat_spy):
+    """``max(keys[j]) == min(keys[j+1])`` is fine: merge breaks key ties
+    toward the lower input index, which is exactly concatenation order."""
+    a = _build(ROWS_A, spill=str(tmp_path / "a"))
+    b = _build(ROWS_B, spill=str(tmp_path / "b"))
+    merged = MoveLog.merge(
+        [a, b], [[0, 1, 1], [1, 2]], spill=str(tmp_path / "out")
+    )
+    assert len(concat_spy) == 2
+    assert _rows(merged) == ROWS_A + ROWS_B
+    for log in (a, b, merged):
+        log.close()
+
+
+def test_overlapping_keys_fall_back_to_cursor_merge(tmp_path, concat_spy):
+    a = _build(ROWS_A, spill=str(tmp_path / "a"))
+    b = _build(ROWS_B, spill=str(tmp_path / "b"))
+    merged = MoveLog.merge(
+        [a, b], [[0, 2, 4], [1, 3]], spill=str(tmp_path / "out")
+    )
+    assert not concat_spy  # interleaved keys: the general path
+    assert _rows(merged) == [
+        ROWS_A[0], ROWS_B[0], ROWS_A[1], ROWS_B[1], ROWS_A[2]
+    ]
+    for log in (a, b, merged):
+        log.close()
+
+
+def test_concat_path_applies_vid_maps(tmp_path, concat_spy):
+    import numpy as np
+
+    a = _build(ROWS_A, spill=str(tmp_path / "a"))
+    b = _build(ROWS_B, spill=str(tmp_path / "b"))
+    vid_maps = [
+        np.arange(10, dtype=np.int32) + 100,
+        np.arange(10, dtype=np.int32) + 200,
+    ]
+    merged = MoveLog.merge(
+        [a, b], [[0, 0, 1], [2, 3]], spill=str(tmp_path / "out"),
+        vid_maps=vid_maps,
+    )
+    assert len(concat_spy) == 2
+    assert merged.vertex_ids().tolist() == [101, 102, 103, 204, 205]
+    for log in (a, b, merged):
+        log.close()
+
+
+def test_ordered_mixed_spill_uses_chunk_append(tmp_path, concat_spy):
+    """Ordered shards where the output (or an input) is in-RAM skip the
+    file-level concat but still bulk-append without a cursor walk."""
+    a = _build(ROWS_A, spill=str(tmp_path / "a"))
+    b = _build(ROWS_B)  # in-RAM input
+    merged = MoveLog.merge([a, b], [[0, 0, 1], [2, 3]])  # in-RAM output
+    assert not concat_spy
+    assert _rows(merged) == ROWS_A + ROWS_B
+    for log in (a, b, merged):
+        log.close()
+
+
+def test_spilled_bytes_account_for_concatenated_rows(tmp_path):
+    a = _build(ROWS_A, spill=str(tmp_path / "a"))
+    b = _build(ROWS_B, spill=str(tmp_path / "b"))
+    merged = MoveLog.merge(
+        [a, b], [[0, 0, 1], [2, 3]], spill=str(tmp_path / "out")
+    )
+    assert merged.spilled_bytes == a.spilled_bytes + b.spilled_bytes
+    for log in (a, b, merged):
+        log.close()

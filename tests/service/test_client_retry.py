@@ -1,0 +1,101 @@
+"""Connection-level retry behavior of :class:`ServiceClient`: bounded,
+exponentially backed off, jittered — and never applied to HTTP error
+responses, which must fail fast."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+
+
+class _FakeResponse:
+    def __init__(self, payload=b'{"ok": true}'):
+        self._payload = payload
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def read(self):
+        return self._payload
+
+
+def test_retries_validation():
+    with pytest.raises(ValueError, match="retries"):
+        ServiceClient("http://x", retries=-1)
+
+
+def test_default_is_no_retry(monkeypatch):
+    calls = []
+
+    def fake_urlopen(req, timeout=None):
+        calls.append(req)
+        raise urllib.error.URLError("connection refused")
+
+    monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+    with pytest.raises(urllib.error.URLError):
+        ServiceClient("http://x").get("/health")
+    assert len(calls) == 1
+
+
+def test_connection_errors_retried_then_succeed(monkeypatch):
+    calls = []
+
+    def fake_urlopen(req, timeout=None):
+        calls.append(req)
+        if len(calls) < 3:
+            raise urllib.error.URLError("connection refused")
+        return _FakeResponse()
+
+    sleeps = []
+    monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+    monkeypatch.setattr(
+        "repro.service.client.time.sleep", sleeps.append
+    )
+    client = ServiceClient("http://x", retries=4, backoff_s=0.1)
+    assert client.get("/health") == {"ok": True}
+    assert len(calls) == 3
+    # exponential backoff with jitter in [0.5, 1.0] of the nominal delay
+    assert len(sleeps) == 2
+    assert 0.05 <= sleeps[0] <= 0.1
+    assert 0.1 <= sleeps[1] <= 0.2
+
+
+def test_retry_budget_exhausts(monkeypatch):
+    calls = []
+
+    def fake_urlopen(req, timeout=None):
+        calls.append(req)
+        raise urllib.error.URLError("connection refused")
+
+    monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+    monkeypatch.setattr(
+        "repro.service.client.time.sleep", lambda s: None
+    )
+    with pytest.raises(urllib.error.URLError):
+        ServiceClient("http://x", retries=3).get("/health")
+    assert len(calls) == 4  # initial attempt + 3 retries
+
+
+def test_http_errors_are_never_retried(monkeypatch):
+    calls = []
+
+    def fake_urlopen(req, timeout=None):
+        calls.append(req)
+        raise urllib.error.HTTPError(
+            req.full_url, 400, "Bad Request", hdrs=None, fp=None
+        )
+
+    def no_sleep(s):  # pragma: no cover - would mean a retry happened
+        raise AssertionError("an HTTP error response must not be retried")
+
+    monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+    monkeypatch.setattr("repro.service.client.time.sleep", no_sleep)
+    with pytest.raises(ServiceError) as err:
+        ServiceClient("http://x", retries=5).get("/health")
+    assert err.value.status == 400
+    assert len(calls) == 1

@@ -1,0 +1,97 @@
+"""Cross-process single-flight for :meth:`ArtifactStore.get_or_compute`:
+one process per key computes while the rest wait-and-poll, crashed
+leaders' claims go stale and are taken over, and followers surface the
+leader's published bytes."""
+
+import multiprocessing
+import os
+import threading
+import time
+
+from repro.store.db import ArtifactStore
+
+KEY = "f" * 64
+
+
+# Must be importable by worker processes (fork or spawn).
+def _racing_proc(db_path, log_path, queue):
+    with ArtifactStore(db_path, claim_poll_s=0.01) as store:
+        def compute():
+            # O_APPEND makes concurrent one-line writes atomic enough
+            with open(log_path, "a") as fh:
+                fh.write(f"{os.getpid()}\n")
+            time.sleep(0.3)  # long enough that the others must wait
+            return b"computed-bytes"
+
+        payload, _hit = store.get_or_compute(KEY, compute, kind="bound")
+        queue.put(bytes(payload))
+
+
+class TestCrossProcessSingleFlight:
+    def test_racing_processes_compute_once(self, tmp_path):
+        db = str(tmp_path / "store.db")
+        log = str(tmp_path / "computes.log")
+        ArtifactStore(db).close()  # create the schema up front
+        ctx = multiprocessing.get_context()
+        queue = ctx.Queue()
+        procs = [
+            ctx.Process(target=_racing_proc, args=(db, log, queue))
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        results = [queue.get(timeout=30) for _ in procs]
+        for p in procs:
+            p.join(10.0)
+        assert results == [b"computed-bytes"] * 4
+        with open(log) as fh:
+            computes = fh.read().splitlines()
+        assert len(computes) == 1  # exactly one process computed
+
+    def test_follower_adopts_foreign_leaders_publish(self, tmp_path):
+        db = tmp_path / "store.db"
+        leader = ArtifactStore(db)
+        follower = ArtifactStore(db, claim_poll_s=0.01)
+        assert leader._try_claim(KEY)  # a live foreign claim
+
+        def publish():
+            time.sleep(0.15)
+            leader.put(KEY, b"from-leader", kind="bound")
+            leader._release_claim(KEY)
+
+        thread = threading.Thread(target=publish)
+        thread.start()
+        calls = []
+        payload, hit = follower.get_or_compute(
+            KEY, lambda: calls.append(1) or b"x", kind="bound"
+        )
+        thread.join(5.0)
+        assert payload == b"from-leader" and hit is True
+        assert calls == []  # the follower never computed
+        assert follower.counters["cross_flights"] == 1
+        leader.close()
+        follower.close()
+
+    def test_stale_claim_of_crashed_leader_is_taken_over(self, tmp_path):
+        db = tmp_path / "store.db"
+        crashed = ArtifactStore(db)
+        assert crashed._try_claim(KEY)
+        crashed.close()  # "dies" without releasing the claim
+        survivor = ArtifactStore(db, claim_ttl_s=0.05, claim_poll_s=0.01)
+        time.sleep(0.1)  # let the claim go stale
+        payload, hit = survivor.get_or_compute(
+            KEY, lambda: b"recovered", kind="bound"
+        )
+        assert payload == b"recovered" and hit is False
+        assert survivor.counters["claim_takeovers"] == 1
+        # the takeover also released the claim when done
+        assert not survivor._claim_blocks(KEY)
+        survivor.close()
+
+    def test_claim_knob_validation(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError, match="claim"):
+            ArtifactStore(tmp_path / "s.db", claim_ttl_s=0.0)
+        with pytest.raises(ValueError, match="claim"):
+            ArtifactStore(tmp_path / "s.db", claim_poll_s=-1.0)
