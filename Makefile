@@ -3,8 +3,8 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test test-sharded test-kernel test-harness test-service \
-  test-fleet doctest bench bench-smoke bench-kernel bench-service \
-  bench-guard lint check
+  test-fleet test-obs doctest bench bench-smoke bench-kernel \
+  bench-service bench-guard lint check
 
 # Tier-1 suite (includes the doctest run over the documented public
 # surface and the ~1 s bench smoke in tests/test_docs_and_bench_smoke.py).
@@ -53,6 +53,16 @@ test-service:
 test-fleet:
 	$(PY) -m pytest tests/fleet -q
 
+# Observability suites: metrics registry / event ring / dashboard unit
+# tests, GET /metrics on both HTTP servers (schema + pinned counters +
+# monotonic-scrape properties), the monotonic-clock regression tests,
+# claim clock-skew tolerance, and the SIGKILL fault-injection run that
+# must surface in `repro fleet status --failures`.
+test-obs:
+	$(PY) -m pytest tests/obs tests/service/test_metrics_endpoint.py \
+	  tests/fleet/test_fleet_obs.py tests/fleet/test_fleet_clock.py \
+	  tests/store/test_store_claims.py -q
+
 # Standalone doctest pass over the documented modules.
 doctest:
 	$(PY) -m pytest --doctest-modules \
@@ -62,7 +72,10 @@ doctest:
 	  src/repro/store/keys.py \
 	  src/repro/store/db.py \
 	  src/repro/store/analysis.py \
-	  src/repro/service/server.py -q
+	  src/repro/service/server.py \
+	  src/repro/obs/metrics.py \
+	  src/repro/obs/events.py \
+	  src/repro/obs/dashboard.py -q
 
 # Smallest-size benchmark smoke (still completes the 10^6-move P-RBW game).
 bench-smoke:

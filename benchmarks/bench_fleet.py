@@ -8,6 +8,8 @@ Three measurements back the fleet's operational story
   (the no-work fast path every polling worker hits between grids);
 * **status round-trip** — ``GET /status`` (what ``fleet status`` and
   ``sweep --fleet`` polling pay per tick);
+* **metrics scrape** — ``GET /metrics`` (the observability snapshot +
+  event ring + failure rows; what a monitoring poller pays per scrape);
 * **two-worker sweep** — a grid of trivial cells through a localhost
   controller + two polling workers: per-cell wall clock including
   lease/heartbeat/report traffic and per-cell process spawn.  This is
@@ -88,6 +90,31 @@ def test_http_lease_and_status_latency(fleet, bench_record, report_emitter):
         f"p99 : {lease_p99 / 1e6:7.3f} ms\n"
         f"  status p50 : {status_p50 / 1e6:7.3f} ms   "
         f"p99 : {status_p99 / 1e6:7.3f} ms"
+    )
+
+
+def test_http_metrics_scrape_latency(fleet, bench_record, report_emitter):
+    """``GET /metrics`` round-trip against a controller with a scrape's
+    worth of traffic behind it (counters + histograms + event ring +
+    failure rows all serialize per request)."""
+    url, _root = fleet
+    client = FleetClient(url)
+    client.register("bench-worker", slots=1)
+    for _ in range(20):  # populate counters/histograms/events
+        client.lease("bench-worker")
+    n = 10 if smoke_mode() else 50
+    lat = []
+    for _ in range(n):
+        t0 = time.perf_counter_ns()
+        view = client.metrics()
+        lat.append(time.perf_counter_ns() - t0)
+    assert view["metrics"]["counters"]["http.requests{POST /v1/lease}"] >= 20
+    p50, p99 = _percentiles(lat)
+    bench_record("fleet/metrics_scrape", ns_per_op=p50, p99_ns=p99,
+                 requests=n)
+    report_emitter(
+        "Fleet controller GET /metrics scrape\n"
+        f"  p50 : {p50 / 1e6:7.3f} ms   p99 : {p99 / 1e6:7.3f} ms"
     )
 
 

@@ -65,6 +65,7 @@ REQUIRED_GROUPS = (
     "service/compiled_warm_",
     "fleet/",
     "fleet/sweep_",
+    "fleet/metrics_scrape",
 )
 THRESHOLD = float(os.environ.get("BENCH_GUARD_THRESHOLD", "3.0"))
 

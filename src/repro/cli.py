@@ -16,13 +16,16 @@ Usage::
     python -m repro.cli sweep --out results --jobs 4 --store repro-store.db
     python -m repro.cli sweep --grid smoke --fleet http://127.0.0.1:8199
     python -m repro.cli fleet serve --root results --port 8199
+    python -m repro.cli fleet serve --root results --grid-file grid.json
     python -m repro.cli fleet worker http://127.0.0.1:8199 --root results
     python -m repro.cli fleet status http://127.0.0.1:8199
+    python -m repro.cli fleet status http://127.0.0.1:8199 --failures
     python -m repro.cli reproduce results
     python -m repro.cli bench-view results --out BENCH_core.json
     python -m repro.cli serve --db repro-store.db --port 8177
     python -m repro.cli cache stats --db repro-store.db
     python -m repro.cli cache gc --db repro-store.db --max-bytes 100000000
+    python -m repro.cli cache gc --db repro-store.db --watch --interval 60
     python -m repro.cli all
 
 Each subcommand runs the corresponding experiment driver from
@@ -55,21 +58,32 @@ exit naming each failing cell).  ``bench-view`` derives a
 
 ``fleet`` runs distributed sweeps (:mod:`repro.fleet`): ``fleet
 serve`` starts the controller that owns the cell queue over a shared
-results root, ``fleet worker`` attaches a polling worker (``--slots N``
-caps its local cell processes), and ``fleet status`` prints the
-controller's full queue/lease/worker state as JSON.  ``sweep --fleet
-URL`` submits the grid to a running controller instead of executing
-locally and polls until the fleet finishes — always with resume
-semantics, writing into the *controller's* results root, byte-identical
-to a local ``sweep --jobs 1``.  See ``docs/fleet.md``.
+results root (``--grid`` submits a named grid at startup;
+``--grid-file`` submits a JSON grid file through the same loader
+``sweep --grid-file`` uses), ``fleet worker`` attaches a polling worker
+(``--slots N`` caps its local cell processes), and ``fleet status``
+prints the controller's full queue/lease/worker state as JSON —
+``--failures`` instead renders the per-cell failure dashboard
+(attempts, last signal, backoff) from the controller's ``GET
+/metrics`` event data.  ``sweep --fleet URL`` submits the grid to a
+running controller instead of executing locally and polls until the
+fleet finishes — always with resume semantics, writing into the
+*controller's* results root, byte-identical to a local ``sweep --jobs
+1``.  See ``docs/fleet.md`` and ``docs/observability.md``.
 
 ``serve`` starts the long-running memoized bound server
 (:mod:`repro.service`) over a content-addressed artifact store
 (:mod:`repro.store`), and ``cache`` inspects or maintains such a store
 (``stats`` / ``gc`` / ``clear``) — see ``docs/service.md`` for the
-service contract, cache-key discipline, and operational notes.  The
-usage block above lists every registered subcommand —
-``tests/evaluation/test_cli.py`` pins it against the parser.
+service contract, cache-key discipline, and operational notes.  ``cache
+gc --watch`` turns the one-shot collector into an interval-driven
+eviction daemon (``--interval`` seconds between passes, ``--passes N``
+to stop after N — handy for tests and cron-like supervision); every
+pass reports through the store's gc counters like any other.  Both
+HTTP servers expose ``GET /metrics`` (:mod:`repro.obs`) — see
+``docs/observability.md``.  The usage block above lists every
+registered subcommand — ``tests/evaluation/test_cli.py`` pins it
+against the parser.
 """
 
 from __future__ import annotations
@@ -220,8 +234,12 @@ def build_parser() -> argparse.ArgumentParser:
     fp.add_argument("--grid", choices=["default", "smoke"], default=None,
                     help="submit this named grid at startup (resume "
                     "semantics); omit to wait for 'sweep --fleet'")
+    fp.add_argument("--grid-file", default=None,
+                    help="submit this JSON grid file (list of cell "
+                    "objects, same format as 'sweep --grid-file') at "
+                    "startup; overrides --grid")
     fp.add_argument("--seed", type=int, default=0,
-                    help="grid seed for --grid")
+                    help="grid seed for --grid / --grid-file")
     fp.add_argument("--lease-ttl", type=float, default=30.0,
                     help="lease validity window in seconds; a worker "
                     "that stops heartbeating loses its cells after this")
@@ -256,6 +274,10 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="print a controller's full state as JSON"
     )
     fp.add_argument("url", help="controller base URL")
+    fp.add_argument("--failures", action="store_true",
+                    help="render the per-cell failure dashboard "
+                    "(attempts, last signal, backoff) instead of the "
+                    "raw status JSON")
 
     p = sub.add_parser(
         "reproduce",
@@ -277,7 +299,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "serve",
         help="run the memoized bound server over an artifact store "
-        "(GET /health /stats; POST /v1/{compiled,schedule,bound,pebble})",
+        "(GET /health /stats /metrics; "
+        "POST /v1/{compiled,schedule,bound,pebble})",
     )
     p.add_argument("--db", default="repro-store.db",
                    help="artifact-store SQLite path (created if absent)")
@@ -306,6 +329,15 @@ def build_parser() -> argparse.ArgumentParser:
                    "(dropped by default)")
     p.add_argument("--vacuum", action="store_true",
                    help="gc: VACUUM the database file afterwards")
+    p.add_argument("--watch", action="store_true",
+                   help="gc: keep running, one eviction pass per "
+                   "--interval (an eviction daemon)")
+    p.add_argument("--interval", type=float, default=60.0,
+                   help="gc --watch: seconds between passes "
+                   "(default: 60)")
+    p.add_argument("--passes", type=int, default=None,
+                   help="gc --watch: stop after N passes "
+                   "(default: run until interrupted)")
 
     sub.add_parser("all", help="run every experiment with default parameters")
     return parser
@@ -360,14 +392,25 @@ def _run_spill(args: argparse.Namespace) -> str:
     )
 
 
+def _resolve_grid(grid: Optional[str], grid_file: Optional[str], seed: int):
+    """Resolve a ``--grid`` / ``--grid-file`` pair into a list of
+    :class:`RunSpec` (``--grid-file`` wins; ``None`` when neither was
+    given).  Shared by ``sweep`` and ``fleet serve`` so both accept the
+    identical grid vocabulary."""
+    from .evaluation.harness import GRIDS, load_grid_file
+
+    if grid_file:
+        return load_grid_file(grid_file, seed=seed)
+    if grid:
+        return GRIDS[grid](seed)
+    return None
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     """The ``sweep`` subcommand: execute a grid through the harness."""
-    from .evaluation.harness import GRIDS, load_grid_file, run_grid
+    from .evaluation.harness import run_grid
 
-    if args.grid_file:
-        specs = load_grid_file(args.grid_file, seed=args.seed)
-    else:
-        specs = GRIDS[args.grid](args.seed)
+    specs = _resolve_grid(args.grid, args.grid_file, args.seed)
     if args.experiments:
         keep = set(args.experiments)
         specs = [s for s in specs if s.experiment in keep]
@@ -435,11 +478,7 @@ def _run_fleet(args: argparse.Namespace) -> int:
     from .fleet import FleetClient, FleetWorker, serve_fleet
 
     if args.fleet_command == "serve":
-        grid = None
-        if args.grid:
-            from .evaluation.harness import GRIDS
-
-            grid = GRIDS[args.grid](args.seed)
+        grid = _resolve_grid(args.grid, args.grid_file, args.seed)
         serve_fleet(
             args.root,
             host=args.host,
@@ -461,9 +500,15 @@ def _run_fleet(args: argparse.Namespace) -> int:
             exit_when_done=not args.keep_alive,
         ).run()
         return 0
+    client = FleetClient(args.url, retries=1)
+    if args.failures:
+        from .obs import render_failure_table
+
+        print(render_failure_table(client.metrics().get("failures", [])))
+        return 0
     from .evaluation.manifest import dumps_canonical
 
-    print(dumps_canonical(FleetClient(args.url, retries=1).status()))
+    print(dumps_canonical(client.status()))
     return 0
 
 
@@ -487,16 +532,32 @@ def _run_cache(args: argparse.Namespace) -> int:
         if args.action == "stats":
             print(dumps_canonical(store.stats()), end="")
         elif args.action == "gc":
-            report = store.gc(
-                max_bytes=args.max_bytes,
-                max_age_s=args.max_age_s,
-                drop_stale_code=not args.keep_stale_code,
-                vacuum=args.vacuum,
-            )
-            print(
-                f"gc: removed {report['removed']} entrie(s), "
-                f"{report['removed_bytes']} payload byte(s)"
-            )
+            import time as _time
+
+            done_passes = 0
+            while True:
+                report = store.gc(
+                    max_bytes=args.max_bytes,
+                    max_age_s=args.max_age_s,
+                    drop_stale_code=not args.keep_stale_code,
+                    vacuum=args.vacuum,
+                )
+                done_passes += 1
+                prefix = (
+                    f"gc pass {done_passes}" if args.watch else "gc"
+                )
+                print(
+                    f"{prefix}: removed {report['removed']} entrie(s), "
+                    f"{report['removed_bytes']} payload byte(s)"
+                )
+                if not args.watch:
+                    break
+                if args.passes is not None and done_passes >= args.passes:
+                    break
+                try:
+                    _time.sleep(args.interval)
+                except KeyboardInterrupt:  # pragma: no cover - manual stop
+                    break
         else:  # clear
             removed = store.clear()
             print(f"clear: removed {removed} entrie(s)")

@@ -647,10 +647,14 @@ def _run_cells_parallel(
     cell_timeout: Optional[float],
     store_path: Optional[str],
     log: Callable[[str], None],
+    events=None,
 ) -> Tuple[List[str], List[Tuple[str, str]]]:
     """Run cells in up to ``jobs`` worker processes; returns
     (completed labels, failed (label, reason) pairs), both in grid
-    order."""
+    order.  ``events``, when given, is an event sink with an
+    ``emit(kind, **fields)`` method (duck-typed so callers without
+    :mod:`repro.obs` pass nothing): ``cell.started`` /
+    ``cell.committed`` / ``cell.failed`` per cell."""
     ctx = _mp_context()
     pending = deque(to_run)
     running: Dict[str, Tuple] = {}  # label -> (proc, deadline)
@@ -669,6 +673,8 @@ def _run_cells_parallel(
                     args=(spec, str(run_dir), registry, store_path),
                 )
                 proc.start()
+                if events is not None:
+                    events.emit("cell.started", label=spec.label)
                 deadline = (
                     None if cell_timeout is None
                     else time.monotonic() + cell_timeout
@@ -685,14 +691,22 @@ def _run_cells_parallel(
                         done[label] = f"timed out after {cell_timeout:g}s"
                         log(f"[timeout] {label} ({done[label]}; partial "
                             "directory left for --resume)")
+                        if events is not None:
+                            events.emit("cell.failed", label=label,
+                                        error=done[label])
                         del running[label]
                     continue
                 proc.join()
                 if proc.exitcode == 0:
                     done[label] = None
+                    if events is not None:
+                        events.emit("cell.committed", label=label)
                 else:
                     done[label] = describe_worker_exit(proc.exitcode)
                     log(f"[failed]  {label} ({done[label]})")
+                    if events is not None:
+                        events.emit("cell.failed", label=label,
+                                    error=done[label])
                 del running[label]
             if running:
                 time.sleep(0.01)
@@ -723,6 +737,7 @@ def run_grid(
     store_path: Optional[os.PathLike] = None,
     jobs: int = 1,
     cell_timeout: Optional[float] = None,
+    events=None,
 ) -> GridRunResult:
     """Execute a grid into ``root``, one run directory per cell.
 
@@ -741,6 +756,11 @@ def run_grid(
     cell's partial directory stays behind for ``--resume``).  Under
     ``jobs=1`` execution is in grid order and cell exceptions propagate,
     exactly as before.
+
+    ``events``, when given, is any object with an ``emit(kind,
+    **fields)`` method (an :class:`repro.obs.EventRing` in practice —
+    duck-typed so this module keeps zero obs imports); the grid emits
+    ``cell.started`` / ``cell.committed`` / ``cell.failed`` per cell.
     """
     _validate_grid(specs)
     if jobs < 1:
@@ -773,6 +793,7 @@ def run_grid(
         executed, failed = _run_cells_parallel(
             to_run, root, registry, decisions, jobs, cell_timeout,
             None if store_path is None else str(store_path), log,
+            events=events,
         )
     elif store_path is not None:
         from ..store.db import ArtifactStore
@@ -786,8 +807,12 @@ def run_grid(
                     shutil.rmtree(run_dir)
                 run_dir.mkdir()
                 log(f"[{decisions[spec.label]}]".ljust(10) + spec.label)
+                if events is not None:
+                    events.emit("cell.started", label=spec.label)
                 _execute_cell(spec, run_dir, registry, kill)
                 executed.append(spec.label)
+                if events is not None:
+                    events.emit("cell.committed", label=spec.label)
     else:
         executed = []
         for spec in to_run:
@@ -796,8 +821,12 @@ def run_grid(
                 shutil.rmtree(run_dir)
             run_dir.mkdir()
             log(f"[{decisions[spec.label]}]".ljust(10) + spec.label)
+            if events is not None:
+                events.emit("cell.started", label=spec.label)
             _execute_cell(spec, run_dir, registry, kill)
             executed.append(spec.label)
+            if events is not None:
+                events.emit("cell.committed", label=spec.label)
     log(
         f"executed {len(executed)} cell(s), skipped {len(skipped)}"
         + (f", FAILED {len(failed)}" if failed else "")

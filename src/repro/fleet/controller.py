@@ -37,6 +37,23 @@ races its replacement) and harmless by construction: cells are
 deterministic, both workers write the same bytes, and the run-directory
 commit protocol means the last committed summary wins.  ``/v1/report``
 from a worker that lost its lease is acknowledged but changes nothing.
+
+Two cross-cutting rules added with the observability layer:
+
+* **Monotonic for intervals, wall for reported timestamps.**  Every
+  piece of lease/backoff/staleness arithmetic runs on an injectable
+  ``clock`` (default :func:`time.monotonic`): a wall-clock step — NTP
+  correction, VM resume — can neither mass-expire every lease nor
+  immortalize one.  Wall clock appears only in *reported* fields
+  (event ``ts`` stamps).
+* **Instrumented seams.**  The controller owns a
+  :class:`~repro.obs.MetricsRegistry` (per-endpoint request counters +
+  latency histograms, lease/requeue/failure counters) and a bounded
+  :class:`~repro.obs.EventRing` (lease granted/expired, cell
+  re-queued/committed/failed with the signal name when there is one).
+  ``GET /metrics`` serves both plus the per-cell failure table that
+  ``repro fleet status --failures`` renders (see
+  ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -60,6 +77,13 @@ from ..evaluation.manifest import (
     canonical_config,
     dumps_canonical,
     read_summary,
+)
+from ..obs import (
+    OBS_SCHEMA,
+    EventRing,
+    MetricsRegistry,
+    labeled,
+    signal_from_error,
 )
 
 __all__ = [
@@ -134,6 +158,11 @@ class FleetController:
     registry:
         Experiment registry used only to validate submitted grids
         (workers own the run callables).
+    clock:
+        Interval clock for every lease/backoff/staleness computation —
+        :func:`time.monotonic` by default, injectable so tests can step
+        it deterministically.  Must never jump backwards; wall clock
+        (:func:`time.time`) is used only for reported timestamps.
     """
 
     def __init__(
@@ -146,6 +175,8 @@ class FleetController:
         poll_s: float = 0.5,
         registry: Mapping = REGISTRY,
         log: Callable[[str], None] = print,
+        clock: Callable[[], float] = time.monotonic,
+        events_capacity: int = 1024,
     ) -> None:
         if lease_ttl_s <= 0:
             raise ValueError(f"lease_ttl_s must be positive, got {lease_ttl_s}")
@@ -160,18 +191,24 @@ class FleetController:
         self.poll_s = float(poll_s)
         self.registry = registry
         self.log = log
-        self.started_s = time.time()
+        self.clock = clock
+        self.started_s = time.time()  # reported only, never subtracted
+        self._started_clock = self.clock()
+        self.metrics = MetricsRegistry()
+        self.events = EventRing(capacity=events_capacity)
         self._mu = threading.Lock()
         self._specs: Dict[str, RunSpec] = {}
         self._order: List[str] = []
         self._queue: deque = deque()
         #: (eligible_at_s, label) re-queues waiting out their backoff
+        #: (``clock`` timebase, like every other interval field here)
         self._delayed: List[Tuple[float, str]] = []
         self._leases: Dict[str, _Lease] = {}
         self._attempts: Dict[str, int] = {}
         self._done: List[str] = []
         self._skipped: List[str] = []
         self._failed: Dict[str, str] = {}
+        self._last_error: Dict[str, str] = {}
         self._workers: Dict[str, _Worker] = {}
         self.requests: Dict[str, int] = {}
 
@@ -220,9 +257,16 @@ class FleetController:
             self._done = []
             self._skipped = list(plan.skip)
             self._failed = {}
+            self._last_error = {}
             self.log(
                 f"grid submitted: {len(self._queue)} cell(s) queued, "
                 f"{len(self._skipped)} already committed"
+            )
+            self.metrics.counter("fleet.grids_submitted").inc()
+            self.events.emit(
+                "grid.submitted",
+                queued=len(self._queue), skipped=len(self._skipped),
+                stale=len(plan.stale), partial=len(plan.partial),
             )
             return {
                 "queued": len(self._queue),
@@ -239,7 +283,7 @@ class FleetController:
             raise ValueError("worker registration needs a non-empty name")
         if slots < 1:
             raise ValueError(f"slots must be >= 1, got {slots}")
-        now = time.time()
+        now = self.clock()
         with self._mu:
             rec = self._workers.get(worker)
             if rec is None:
@@ -248,6 +292,9 @@ class FleetController:
                     registered_s=now, last_seen_s=now,
                 )
                 self.log(f"worker registered: {worker} (slots={slots})")
+                self.metrics.counter("fleet.workers_registered").inc()
+                self.events.emit("worker.registered", worker=worker,
+                                 slots=int(slots))
             else:  # re-registration updates the cap, keeps the leases
                 rec.slots = int(slots)
                 rec.last_seen_s = now
@@ -264,7 +311,7 @@ class FleetController:
         slot cap)."""
         if not worker:
             raise ValueError("lease request needs a worker name")
-        now = time.time()
+        now = self.clock()
         with self._mu:
             rec = self._touch_locked(worker, now)
             self._expire_leases_locked(now)
@@ -292,6 +339,11 @@ class FleetController:
             )
             rec.leased.add(label)
             self.log(f"[lease]   {label} -> {worker} (attempt {attempt})")
+            self.metrics.counter("fleet.leases_granted").inc()
+            self.events.emit("lease.granted", label=label, worker=worker,
+                             attempt=attempt)
+            self.events.emit("cell.started", label=label, worker=worker,
+                             attempt=attempt)
             return {
                 "cell": spec_to_wire(self._specs[label]),
                 "attempt": attempt,
@@ -305,7 +357,7 @@ class FleetController:
         so the worker can abort those cell processes."""
         if not worker:
             raise ValueError("heartbeat needs a worker name")
-        now = time.time()
+        now = self.clock()
         lost: List[str] = []
         with self._mu:
             self._touch_locked(worker, now)
@@ -329,7 +381,7 @@ class FleetController:
         """
         if not worker or not label:
             raise ValueError("report needs a worker and a cell label")
-        now = time.time()
+        now = self.clock()
         with self._mu:
             self._touch_locked(worker, now)
             self._expire_leases_locked(now)
@@ -347,8 +399,16 @@ class FleetController:
                 ):
                     self._done.append(label)
                     self.log(f"[done]    {label} ({worker})")
+                    self.metrics.counter("fleet.cells_done").inc()
+                    self.events.emit("cell.committed", label=label,
+                                     worker=worker, attempt=lease.attempt)
                     return {"accepted": True}
                 error = error or "reported done without a committed summary"
+            self.events.emit(
+                "cell.attempt_failed", label=label, worker=worker,
+                attempt=lease.attempt, error=error,
+                signal=signal_from_error(error),
+            )
             self._requeue_locked(label, f"{error} (worker {worker})", now)
             return {"accepted": True}
 
@@ -361,20 +421,20 @@ class FleetController:
             return {
                 "status": "ok",
                 "schema": FLEET_SCHEMA,
-                "uptime_s": time.time() - self.started_s,
+                "uptime_s": self.clock() - self._started_clock,
                 "root": str(self.root),
                 "complete": self._complete_locked(),
                 "cells": self._counts_locked(),
             }
 
     def status(self) -> Dict:
-        now = time.time()
+        now = self.clock()
         with self._mu:
             self._expire_leases_locked(now)
             self._promote_delayed_locked(now)
             return {
                 "schema": FLEET_SCHEMA,
-                "uptime_s": now - self.started_s,
+                "uptime_s": now - self._started_clock,
                 "root": str(self.root),
                 "complete": self._complete_locked(),
                 "cells": self._counts_locked(),
@@ -406,6 +466,71 @@ class FleetController:
                 ],
             }
 
+    def failures(self) -> List[Dict]:
+        """Per-cell failure rows for the dashboard: every cell that has
+        been re-queued at least once or failed permanently, with its
+        current state, attempt count, last error (and the signal name
+        parsed out of it), and remaining backoff.  Rendered client-side
+        by :func:`repro.obs.render_failure_table`
+        (``repro fleet status --failures``)."""
+        now = self.clock()
+        with self._mu:
+            self._expire_leases_locked(now)
+            rows: List[Dict] = []
+            delayed = {label: t for t, label in self._delayed}
+            queued = set(self._queue)
+            done = set(self._done)
+            for label in self._order:
+                attempts = self._attempts.get(label, 0)
+                if attempts == 0 and label not in self._failed:
+                    continue
+                if label in self._failed:
+                    state = "failed"
+                elif label in self._leases:
+                    state = "leased"
+                elif label in delayed:
+                    state = "delayed"
+                elif label in queued:
+                    state = "pending"
+                elif label in done:
+                    state = "done"
+                else:
+                    state = "unknown"
+                lease = self._leases.get(label)
+                error = self._last_error.get(label, "")
+                rows.append({
+                    "label": label,
+                    "state": state,
+                    "attempts": attempts,
+                    "max_retries": self.max_retries,
+                    "worker": lease.worker if lease is not None else "",
+                    "backoff_in_s": (
+                        max(0.0, delayed[label] - now)
+                        if label in delayed else None
+                    ),
+                    "last_error": error,
+                    "last_signal": signal_from_error(error),
+                })
+            return rows
+
+    def metrics_view(self) -> Dict:
+        """The ``GET /metrics`` payload: instrument snapshot (request
+        counters, per-endpoint latency histograms, lease/requeue/failure
+        counters), the recent event ring, and the per-cell failure rows.
+        Canonical JSON on the wire, so two scrapes of the same state are
+        byte-identical."""
+        # failures() first: it sweeps expired leases, and the expiry
+        # counters/events must land in this scrape, not the next one.
+        failures = self.failures()
+        return {
+            "schema": FLEET_SCHEMA,
+            "obs_schema": OBS_SCHEMA,
+            "uptime_s": self.clock() - self._started_clock,
+            "metrics": self.metrics.snapshot(),
+            "events": self.events.snapshot(limit=256),
+            "failures": failures,
+        }
+
     # ------------------------------------------------------------------
     # Internals (call with the lock held)
     # ------------------------------------------------------------------
@@ -426,7 +551,7 @@ class FleetController:
             rec.leased.discard(lease.label)
 
     def _expire_leases_locked(self, now: Optional[float] = None) -> None:
-        now = time.time() if now is None else now
+        now = self.clock() if now is None else now
         for lease in [
             lease for lease in self._leases.values()
             if lease.expires_s <= now
@@ -434,6 +559,9 @@ class FleetController:
             self._drop_lease_locked(lease)
             self.log(f"[expire]  {lease.label} "
                      f"(lease of {lease.worker} timed out)")
+            self.metrics.counter("fleet.leases_expired").inc()
+            self.events.emit("lease.expired", label=lease.label,
+                             worker=lease.worker, attempt=lease.attempt)
             self._requeue_locked(
                 lease.label,
                 f"lease expired (worker {lease.worker} stopped "
@@ -444,10 +572,14 @@ class FleetController:
     def _requeue_locked(self, label: str, reason: str, now: float) -> None:
         self._attempts[label] += 1
         attempt = self._attempts[label]
+        self._last_error[label] = reason
         if attempt > self.max_retries:
             self._failed[label] = reason
             self.log(f"[failed]  {label} after {attempt} attempt(s): "
                      f"{reason}")
+            self.metrics.counter("fleet.cells_failed").inc()
+            self.events.emit("cell.failed", label=label, attempts=attempt,
+                             error=reason, signal=signal_from_error(reason))
             return
         delay = min(
             self.backoff_s * (2 ** (attempt - 1)), self.backoff_max_s
@@ -455,6 +587,10 @@ class FleetController:
         self._delayed.append((now + delay, label))
         self.log(f"[requeue] {label} in {delay:g}s "
                  f"(attempt {attempt}: {reason})")
+        self.metrics.counter("fleet.cells_requeued").inc()
+        self.events.emit("cell.requeued", label=label, attempt=attempt,
+                         delay_s=delay, error=reason,
+                         signal=signal_from_error(reason))
 
     def _promote_delayed_locked(self, now: float) -> None:
         due = [(t, label) for t, label in self._delayed if t <= now]
@@ -489,6 +625,19 @@ class FleetController:
 
     def handle(self, method: str, path: str, body: Optional[Dict]):
         """``(status, response-mapping)`` for one request."""
+        endpoint = f"{method} {path}"
+        start = time.perf_counter()
+        status, payload = self._dispatch(method, path, body)
+        elapsed = time.perf_counter() - start
+        self.metrics.counter(labeled("http.requests", endpoint)).inc()
+        if status >= 400:
+            self.metrics.counter(labeled("http.errors", endpoint)).inc()
+        self.metrics.histogram(labeled("http.latency_s", endpoint)).observe(
+            elapsed
+        )
+        return status, payload
+
+    def _dispatch(self, method: str, path: str, body: Optional[Dict]):
         body = body or {}
         self._count_request(f"{method} {path}")
         try:
@@ -496,6 +645,8 @@ class FleetController:
                 return 200, self.health()
             if (method, path) == ("GET", "/status"):
                 return 200, self.status()
+            if (method, path) == ("GET", "/metrics"):
+                return 200, self.metrics_view()
             if (method, path) == ("POST", "/v1/grid"):
                 cells = body.get("cells")
                 if not isinstance(cells, list):
@@ -521,6 +672,7 @@ class FleetController:
                     bool(body.get("ok", False)),
                     str(body.get("error", "")),
                 )
+            self.metrics.counter("http.unmatched").inc()
             return 404, {"error": f"unknown endpoint {method} {path}"}
         except (KeyError, TypeError, ValueError) as exc:
             return 400, {"error": str(exc)}
@@ -610,7 +762,7 @@ def serve_fleet(
         f"repro fleet controller on http://{host}:{server.server_port} "
         f"(results root: {root})"
     )
-    log("endpoints: GET /health /status; "
+    log("endpoints: GET /health /status /metrics; "
         "POST /v1/{grid,register,lease,heartbeat,report}")
     try:
         server.serve_forever()

@@ -42,6 +42,7 @@ from ..evaluation.harness import (
     _mp_context,
     describe_worker_exit,
 )
+from ..obs import EventRing, MetricsRegistry, signal_from_error
 from .client import FleetClient
 from .controller import spec_from_wire, spec_to_wire
 
@@ -108,6 +109,8 @@ class FleetWorker:
         self._ctx = _mp_context()
         self.executed = 0
         self.reported_failed = 0
+        self.metrics = MetricsRegistry()
+        self.events = EventRing()
 
     # ------------------------------------------------------------------
     def run(self) -> Dict[str, int]:
@@ -161,6 +164,7 @@ class FleetWorker:
                             heartbeat_every,
                         )
                         break
+                    self.metrics.counter("worker.leases_acquired").inc()
                     self._start_cell(spec_from_wire(cell))
                 time.sleep(idle_s if not self._running else 0.01)
         finally:
@@ -187,6 +191,8 @@ class FleetWorker:
             else time.monotonic() + self.cell_timeout
         )
         self._running[spec.label] = (proc, deadline)
+        self.metrics.counter("worker.cells_started").inc()
+        self.events.emit("cell.started", label=spec.label, worker=self.name)
 
     def _reap(self) -> None:
         for label, (proc, deadline) in list(self._running.items()):
@@ -195,6 +201,10 @@ class FleetWorker:
                     self._kill_proc(proc)
                     del self._running[label]
                     self.reported_failed += 1
+                    self.metrics.counter("worker.cells_timeout").inc()
+                    self.events.emit("cell.timeout", label=label,
+                                     worker=self.name,
+                                     timeout_s=self.cell_timeout)
                     self.client.report(
                         self.name, label, ok=False,
                         error=f"timed out after {self.cell_timeout:g}s",
@@ -205,11 +215,18 @@ class FleetWorker:
             del self._running[label]
             if proc.exitcode == 0:
                 self.executed += 1
+                self.metrics.counter("worker.cells_done").inc()
+                self.events.emit("cell.committed", label=label,
+                                 worker=self.name)
                 self.client.report(self.name, label, ok=True)
                 self.log(f"[done]    {label}")
             else:
                 reason = describe_worker_exit(proc.exitcode)
                 self.reported_failed += 1
+                self.metrics.counter("worker.cells_failed").inc()
+                self.events.emit("cell.failed", label=label,
+                                 worker=self.name, error=reason,
+                                 signal=signal_from_error(reason))
                 self.client.report(self.name, label, ok=False, error=reason)
                 self.log(f"[failed]  {label} ({reason})")
 
@@ -217,6 +234,9 @@ class FleetWorker:
         proc, _deadline = self._running.pop(label)
         if proc.is_alive():
             self._kill_proc(proc)
+        self.metrics.counter("worker.cells_lost").inc()
+        self.events.emit("cell.lost", label=label, worker=self.name,
+                         reason=why)
         self.log(f"[drop]    {label} ({why})")
 
     @staticmethod

@@ -1,0 +1,47 @@
+"""Observability: metrics registry, event ring, failure dashboard.
+
+The dependency-free instrumentation layer shared by the artifact store
+(:mod:`repro.store.db`), the memoized bound server
+(:mod:`repro.service.server`), the fleet controller and workers
+(:mod:`repro.fleet`), and the sweep harness
+(:mod:`repro.evaluation.harness`).  Three pieces:
+
+* :class:`MetricsRegistry` — counters / gauges / fixed-bucket
+  histograms with a canonical-JSON (byte-stable) snapshot; served by
+  ``GET /metrics`` on both HTTP servers.
+* :class:`EventRing` — a bounded ring of structured events (lease
+  granted/expired/re-queued, cell started/committed/failed, cache
+  corruption recoveries, gc passes).
+* :func:`render_failure_table` — the per-cell failure dashboard
+  ``repro fleet status --failures`` prints.
+
+See ``docs/observability.md`` for metric names, the event schema, and
+dashboard usage.
+"""
+
+from .dashboard import render_failure_table, signal_from_error
+from .events import EventRing
+from .metrics import (
+    DEFAULT_LATENCY_EDGES_S,
+    OBS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    dumps_snapshot,
+    labeled,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_EDGES_S",
+    "EventRing",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OBS_SCHEMA",
+    "dumps_snapshot",
+    "labeled",
+    "render_failure_table",
+    "signal_from_error",
+]

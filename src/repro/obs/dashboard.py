@@ -1,0 +1,87 @@
+"""Failure-dashboard rendering: the per-cell failure table.
+
+The fleet controller derives one row per troubled cell (any attempt
+beyond the first, or a permanent failure) from its event ring and lease
+state — see :meth:`repro.fleet.controller.FleetController.failures` —
+and serves the rows inside ``GET /metrics``.  This module turns those
+rows into the fixed-width text table ``repro fleet status --failures``
+prints, and extracts signal names (``SIGKILL``, ``SIGSEGV``, …) from
+failure reasons so a fault-injection run reads at a glance.
+
+Doctest::
+
+    >>> from repro.obs.dashboard import render_failure_table, signal_from_error
+    >>> signal_from_error("worker killed by SIGKILL (worker w1)")
+    'SIGKILL'
+    >>> print(render_failure_table([{
+    ...     "label": "cell0", "state": "failed", "attempts": 3,
+    ...     "max_retries": 2, "worker": "", "backoff_in_s": 0.0,
+    ...     "last_error": "worker killed by SIGKILL (worker w1)",
+    ...     "last_signal": "SIGKILL"}]))
+    CELL   STATE   ATTEMPTS  SIGNAL   BACKOFF  WORKER  LAST ERROR
+    cell0  failed  3/3       SIGKILL  -        -       worker killed by SIGKILL (worker w1)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["render_failure_table", "signal_from_error"]
+
+_SIGNAL_RE = re.compile(r"\bSIG[A-Z0-9]+\b")
+
+#: column order: (header, row key, formatter)
+_COLUMNS = (
+    ("CELL", "label"),
+    ("STATE", "state"),
+    ("ATTEMPTS", "attempts"),
+    ("SIGNAL", "last_signal"),
+    ("BACKOFF", "backoff_in_s"),
+    ("WORKER", "worker"),
+    ("LAST ERROR", "last_error"),
+)
+
+
+def signal_from_error(error: Optional[str]) -> str:
+    """The first signal name mentioned in a failure reason, or ``""``
+    (``describe_worker_exit`` writes ``worker killed by SIGKILL``)."""
+    if not error:
+        return ""
+    match = _SIGNAL_RE.search(error)
+    return match.group(0) if match else ""
+
+
+def _cell_text(row: Mapping, key: str) -> str:
+    value = row.get(key)
+    if key == "attempts":
+        # attempts so far out of the retry budget (1 first run +
+        # max_retries re-queues)
+        budget = row.get("max_retries")
+        total = "?" if budget is None else str(int(budget) + 1)
+        return f"{value}/{total}"
+    if key == "backoff_in_s":
+        return f"{value:.2f}s" if value else "-"
+    text = "" if value is None else str(value)
+    return text if text else "-"
+
+
+def render_failure_table(rows: Sequence[Mapping]) -> str:
+    """A fixed-width text table of per-cell failure rows (the shape
+    :meth:`FleetController.failures` returns), sorted by label.
+    Returns a one-line all-clear message when ``rows`` is empty."""
+    if not rows:
+        return "no failures: every attempted cell committed first try"
+    rows = sorted(rows, key=lambda r: str(r.get("label", "")))
+    table: List[List[str]] = [[header for header, _key in _COLUMNS]]
+    for row in rows:
+        table.append([_cell_text(row, key) for _header, key in _COLUMNS])
+    widths: Dict[int, int] = {}
+    for line in table:
+        for i, cell in enumerate(line):
+            widths[i] = max(widths.get(i, 0), len(cell))
+    out = []
+    for line in table:
+        cells = [cell.ljust(widths[i]) for i, cell in enumerate(line)]
+        out.append("  ".join(cells).rstrip())
+    return "\n".join(out)

@@ -1,0 +1,117 @@
+"""A bounded structured event ring.
+
+Where metrics answer "how many / how fast", the event ring answers
+"what happened last": every interesting transition on the distributed
+seams — a lease granted or expired, a cell started / committed /
+failed-with-signal-name, a cache corruption recovery, a gc pass — is
+emitted as one small JSON-safe record into a fixed-capacity ring.  Old
+events fall off the far end (counted, never silently); the ring is the
+data source of the controller-side failure dashboard
+(``repro fleet status --failures``) and the ``events`` section of
+``GET /metrics``.
+
+Events carry a process-unique increasing ``seq`` (so consumers can
+dedupe or resume across scrapes) and a wall-clock ``ts`` — wall clock
+is correct *here* because event timestamps are reported, never used for
+interval arithmetic (the clock-correctness rule established in the
+fleet layer: monotonic for intervals, wall for reported timestamps).
+
+Doctest::
+
+    >>> from repro.obs import EventRing
+    >>> ring = EventRing(capacity=2)
+    >>> _ = ring.emit("lease.granted", label="cell0", worker="w1")
+    >>> _ = ring.emit("cell.committed", label="cell0")
+    >>> _ = ring.emit("lease.expired", label="cell1")
+    >>> [e["kind"] for e in ring.snapshot()]
+    ['cell.committed', 'lease.expired']
+    >>> ring.dropped
+    1
+    >>> ring.last("lease.expired")["label"]
+    'cell1'
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["EventRing"]
+
+
+class EventRing:
+    """Fixed-capacity, thread-safe ring of structured events.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events; older ones are dropped (and counted in
+        :attr:`dropped`).
+    clock:
+        Wall-clock source stamped into each event's ``ts`` field —
+        injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._clock = clock
+        self._mu = threading.Lock()
+        self._ring: deque = deque(maxlen=self.capacity)
+        self._seq = 0
+        self._dropped = 0
+
+    def emit(self, kind: str, **fields) -> Dict:
+        """Record one event; returns the stored record (``seq`` + ``ts``
+        + ``kind`` + the keyword fields)."""
+        if not kind:
+            raise ValueError("event kind must be non-empty")
+        event = {"kind": str(kind), "ts": float(self._clock()), **fields}
+        with self._mu:
+            self._seq += 1
+            event["seq"] = self._seq
+            if len(self._ring) == self.capacity:
+                self._dropped += 1
+            self._ring.append(event)
+        return event
+
+    def snapshot(
+        self,
+        kind: Optional[str] = None,
+        limit: Optional[int] = None,
+        since_seq: int = 0,
+    ) -> List[Dict]:
+        """Retained events in emission order, optionally filtered by
+        ``kind`` (exact match), ``since_seq`` (strictly greater), and
+        trimmed to the newest ``limit``."""
+        with self._mu:
+            events = list(self._ring)
+        if kind is not None:
+            events = [e for e in events if e["kind"] == kind]
+        if since_seq:
+            events = [e for e in events if e["seq"] > since_seq]
+        if limit is not None and limit >= 0:
+            events = events[len(events) - min(limit, len(events)):]
+        return [dict(e) for e in events]
+
+    def last(self, kind: Optional[str] = None) -> Optional[Dict]:
+        """The newest retained event (of ``kind``, if given)."""
+        events = self.snapshot(kind=kind)
+        return events[-1] if events else None
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to capacity so far."""
+        with self._mu:
+            return self._dropped
+
+    def __len__(self) -> int:
+        with self._mu:
+            return len(self._ring)

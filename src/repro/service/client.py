@@ -50,6 +50,11 @@ class ServiceClient:
         Base delay of the exponential backoff: attempt ``k`` sleeps
         ``backoff_s * 2**k`` scaled by a uniform jitter in [0.5, 1.0]
         (decorrelating a fleet of workers hammering one endpoint).
+        Jitter comes from a **private** ``random.Random`` instance, not
+        the module-global generator: seeded tests and seeded workers
+        (``random.seed(...)`` anywhere in the process) must not
+        correlate every client's backoff into a retry storm, and a
+        client's retries must not perturb the caller's seeded stream.
     """
 
     def __init__(
@@ -65,6 +70,7 @@ class ServiceClient:
             raise ValueError(f"retries must be >= 0, got {retries}")
         self.retries = int(retries)
         self.backoff_s = float(backoff_s)
+        self._rng = random.Random()  # OS-entropy seeded, per client
 
     def _request(
         self, method: str, path: str, body: Optional[Dict] = None
@@ -98,7 +104,7 @@ class ServiceClient:
                 time.sleep(
                     self.backoff_s
                     * (2 ** attempt)
-                    * (0.5 + 0.5 * random.random())
+                    * (0.5 + 0.5 * self._rng.random())
                 )
 
     def get(self, path: str) -> Dict:
@@ -113,6 +119,9 @@ class ServiceClient:
 
     def stats(self) -> Dict:
         return self.get("/stats")
+
+    def metrics(self) -> Dict:
+        return self.get("/metrics")
 
     def compiled(
         self, builder: str, params: Optional[Dict] = None, seed: int = 0

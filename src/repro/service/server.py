@@ -14,6 +14,10 @@ Endpoints (full request/response examples in ``docs/service.md``):
 ``GET /health``          liveness: status, uptime, store path
 ``GET /stats``           store stats (hit rates, entries, DB size) +
                          per-endpoint request counters
+``GET /metrics``         observability snapshot (:mod:`repro.obs`):
+                         request counters + latency histograms + mirrored
+                         store counters, plus the recent event ring —
+                         canonical JSON, byte-stable per state
 ``POST /v1/compiled``    compile-snapshot query: ``{builder, params, seed}``
 ``POST /v1/schedule``    schedule query: ``+ {kind: dfs|minlive,
                          include_ids}``
@@ -56,6 +60,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from ..evaluation.manifest import dumps_canonical
+from ..obs import OBS_SCHEMA, EventRing, MetricsRegistry, labeled
 from ..store.analysis import (
     cached_bound,
     cached_compiled_payload,
@@ -85,8 +90,15 @@ class BoundService:
     def __init__(self, store: ArtifactStore) -> None:
         self.store = store
         self.started_s = time.time()
+        self._started_mono = time.monotonic()
         self._mu = threading.Lock()
         self.requests: Dict[str, int] = {}
+        self.metrics = MetricsRegistry()
+        self.events = EventRing()
+        if store.metrics is None:
+            # One scrape covers HTTP + store traffic; a store that came
+            # in with its own registry keeps it.
+            store.bind_obs(self.metrics, self.events)
 
     def _count(self, endpoint: str) -> None:
         with self._mu:
@@ -196,10 +208,26 @@ class BoundService:
         row, hit = cached_spill(self.store, params, seed)
         return {"cached": hit, **row}
 
+    # -- observability -------------------------------------------------
+    def metrics_view(self) -> Dict:
+        """The ``GET /metrics`` payload: instrument snapshot (request
+        counters, per-endpoint latency histograms, mirrored ``store.*``
+        counters) plus the recent event ring.  Canonical JSON on the
+        wire, so two scrapes of the same state are byte-identical."""
+        self._count("/metrics")
+        return {
+            "schema": SERVICE_SCHEMA,
+            "obs_schema": OBS_SCHEMA,
+            "uptime_s": time.monotonic() - self._started_mono,
+            "metrics": self.metrics.snapshot(),
+            "events": self.events.snapshot(limit=256),
+        }
+
     # -- dispatch ------------------------------------------------------
     ROUTES = {
         ("GET", "/health"): "health",
         ("GET", "/stats"): "stats",
+        ("GET", "/metrics"): "metrics_view",
         ("POST", "/v1/compiled"): "compiled",
         ("POST", "/v1/schedule"): "schedule",
         ("POST", "/v1/bound"): "bound",
@@ -210,15 +238,27 @@ class BoundService:
         """``(status, response-mapping)`` for one request."""
         name = self.ROUTES.get((method, path))
         if name is None:
+            self.metrics.counter("http.unmatched").inc()
             return 404, {"error": f"unknown endpoint {method} {path}"}
+        endpoint = f"{method} {path}"
+        start = time.perf_counter()
         try:
             if method == "GET":
-                return 200, getattr(self, name)()
-            return 200, getattr(self, name)(body or {})
+                status, payload = 200, getattr(self, name)()
+            else:
+                status, payload = 200, getattr(self, name)(body or {})
         except ValueError as exc:
-            return 400, {"error": str(exc)}
+            status, payload = 400, {"error": str(exc)}
         except Exception as exc:  # pragma: no cover - defensive
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        elapsed = time.perf_counter() - start
+        self.metrics.counter(labeled("http.requests", endpoint)).inc()
+        if status >= 400:
+            self.metrics.counter(labeled("http.errors", endpoint)).inc()
+        self.metrics.histogram(labeled("http.latency_s", endpoint)).observe(
+            elapsed
+        )
+        return status, payload
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -294,7 +334,7 @@ def serve(
         f"repro service listening on http://{host}:{server.server_port} "
         f"(store: {db_path})"
     )
-    log("endpoints: GET /health /stats; "
+    log("endpoints: GET /health /stats /metrics; "
         "POST /v1/compiled /v1/schedule /v1/bound /v1/pebble")
     try:
         server.serve_forever()

@@ -136,6 +136,14 @@ class ArtifactStore:
     worker threads.  ``counters`` tracks process-lifetime traffic:
     ``hits`` / ``misses`` / ``puts`` / ``corrupt`` / ``flights`` (calls
     that waited behind an identical in-flight computation).
+
+    ``metrics`` / ``events`` optionally bind the store to an
+    observability registry and event ring (:mod:`repro.obs`): every
+    ``counters`` tick is mirrored as a ``store.<name>`` counter, gc
+    passes are counted (``store.gc_passes`` /
+    ``store.gc_removed_bytes``) and emitted as ``gc.pass`` events, and
+    corruption recoveries / claim takeovers become events too.  A host
+    server can also attach after construction via :meth:`bind_obs`.
     """
 
     def __init__(
@@ -145,6 +153,8 @@ class ArtifactStore:
         busy_timeout_s: float = 30.0,
         claim_ttl_s: float = 60.0,
         claim_poll_s: float = 0.05,
+        metrics=None,
+        events=None,
     ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -162,6 +172,8 @@ class ArtifactStore:
         self._conns_mu = threading.Lock()
         self._counter_mu = threading.Lock()
         self._flight = _SingleFlight()
+        self.metrics = metrics
+        self.events = events
         self.counters: Dict[str, int] = {
             "hits": 0,
             "misses": 0,
@@ -170,6 +182,7 @@ class ArtifactStore:
             "flights": 0,
             "cross_flights": 0,
             "claim_takeovers": 0,
+            "claim_skew_takeovers": 0,
         }
         self._conn()  # create the schema eagerly so failures surface here
 
@@ -219,6 +232,28 @@ class ArtifactStore:
     def _count(self, name: str, delta: int = 1) -> None:
         with self._counter_mu:
             self.counters[name] += delta
+        if self.metrics is not None:
+            self.metrics.counter(f"store.{name}").inc(delta)
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self.events is not None:
+            self.events.emit(kind, **fields)
+
+    def bind_obs(self, metrics, events=None) -> None:
+        """Attach an observability registry (and optionally an event
+        ring) after construction — the bound server does this so one
+        ``GET /metrics`` scrape covers HTTP and store traffic.  The
+        counters accumulated so far are carried into the registry, so
+        the mirrored ``store.*`` counters stay monotonic and complete.
+        """
+        with self._counter_mu:
+            current = dict(self.counters)
+        for name, value in current.items():
+            if value:
+                metrics.counter(f"store.{name}").inc(value)
+        self.metrics = metrics
+        if events is not None:
+            self.events = events
 
     # ------------------------------------------------------------------
     # Point reads and writes
@@ -249,6 +284,8 @@ class ArtifactStore:
             self._count("misses")
             conn.execute("DELETE FROM artifacts WHERE key = ?", (key,))
             conn.commit()
+            self._emit("store.corrupt_recovered", key=key,
+                       nbytes=int(nbytes))
             return None
         conn.execute(
             "UPDATE artifacts SET last_used_s = ?, hits = hits + 1 "
@@ -303,13 +340,36 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     # Cross-process claim leases
     # ------------------------------------------------------------------
+    def _claim_state(self, acquired: float, now: float) -> str:
+        """Classify a claim row's age: ``"live"`` within the TTL,
+        ``"stale"`` past it, ``"skewed"`` when ``acquired_s`` lies in
+        the *future* by more than the TTL.
+
+        Claim timestamps are wall clock (they must compare across
+        processes and hosts), so a backwards wall-clock step — NTP
+        correction, VM resume — makes live claims look future-dated.
+        Small skew (within the TTL) is tolerated as live; a claim
+        further in the future than the TTL can only be a clock step
+        larger than the lease itself and is treated as abandoned, so it
+        cannot immortalize the key.  Without the skew branch such a row
+        would block every follower forever (``now - acquired`` stays
+        negative, "fresher than fresh").
+        """
+        age = now - float(acquired)
+        if age >= self.claim_ttl_s:
+            return "stale"
+        if -age > self.claim_ttl_s:
+            return "skewed"
+        return "live"
+
     def _try_claim(self, key: str) -> bool:
         """Attempt to become the cross-process leader for ``key``.
 
         One atomic ``INSERT OR IGNORE`` elects the leader; on conflict a
         compare-and-swap takes over claims older than ``claim_ttl_s``
         (their owner died mid-compute — SIGKILL, OOM — and can never
-        publish or release).
+        publish or release) or future-dated beyond the TTL (a wall-clock
+        step; see :meth:`_claim_state`).
         """
         conn = self._conn()
         now = time.time()
@@ -330,7 +390,8 @@ class ArtifactStore:
             conn.commit()
             return False
         owner, acquired = row
-        if now - float(acquired) >= self.claim_ttl_s:
+        state = self._claim_state(acquired, now)
+        if state != "live":
             cur = conn.execute(
                 "UPDATE claims SET owner = ?, acquired_s = ? "
                 "WHERE key = ? AND owner = ? AND acquired_s = ?",
@@ -339,6 +400,10 @@ class ArtifactStore:
             conn.commit()
             if cur.rowcount == 1:
                 self._count("claim_takeovers")
+                if state == "skewed":
+                    self._count("claim_skew_takeovers")
+                self._emit("store.claim_takeover", key=key,
+                           previous_owner=str(owner), state=state)
                 return True
             return False
         conn.commit()
@@ -353,13 +418,14 @@ class ArtifactStore:
         conn.commit()
 
     def _claim_blocks(self, key: str) -> bool:
-        """True while a live (non-stale) foreign claim covers ``key``."""
+        """True while a live (non-stale, non-skewed) foreign claim
+        covers ``key``."""
         row = self._conn().execute(
             "SELECT acquired_s FROM claims WHERE key = ?", (key,)
         ).fetchone()
         if row is None:
             return False
-        return time.time() - float(row[0]) < self.claim_ttl_s
+        return self._claim_state(row[0], time.time()) == "live"
 
     def _artifact_exists(self, key: str) -> bool:
         """Counter-free existence probe (the follower poll loop must not
@@ -568,7 +634,15 @@ class ArtifactStore:
             conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
             conn.execute("VACUUM")
             conn.commit()
-        return {"removed": int(removed), "removed_bytes": int(removed_bytes)}
+        report = {"removed": int(removed), "removed_bytes": int(removed_bytes)}
+        if self.metrics is not None:
+            self.metrics.counter("store.gc_passes").inc()
+            self.metrics.counter("store.gc_removed").inc(report["removed"])
+            self.metrics.counter("store.gc_removed_bytes").inc(
+                report["removed_bytes"]
+            )
+        self._emit("gc.pass", **report)
+        return report
 
     def clear(self) -> int:
         """Drop every artifact; returns how many were removed."""

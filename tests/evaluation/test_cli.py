@@ -139,6 +139,77 @@ class TestExecution:
         assert main(["sweep", "--out", str(out), "--grid", "smoke",
                      "--experiments", "nope"]) == 2
 
+    def test_cache_gc_watch_one_pass_evicts_then_exits(self, tmp_path,
+                                                       capsys):
+        """``cache gc --watch --passes 1`` runs exactly one eviction
+        pass (evicting down to the byte budget) and exits instead of
+        looping forever."""
+        from repro.store.db import ArtifactStore
+
+        db = tmp_path / "store.db"
+        with ArtifactStore(db) as store:
+            for i in range(4):
+                store.put(f"{i:064x}", b"x" * 1000, kind="bound")
+        assert main(["cache", "gc", "--db", str(db),
+                     "--max-bytes", "1500", "--watch", "--interval",
+                     "0.01", "--passes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "gc pass 1:" in out
+        assert "gc pass 2:" not in out
+        with ArtifactStore(db) as store:
+            assert store.stats()["payload_bytes"] <= 1500
+
+    def test_cache_gc_watch_multiple_passes(self, tmp_path, capsys):
+        from repro.store.db import ArtifactStore
+
+        db = tmp_path / "store.db"
+        ArtifactStore(db).close()
+        assert main(["cache", "gc", "--db", str(db), "--watch",
+                     "--interval", "0.01", "--passes", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "gc pass 3:" in out and "gc pass 4:" not in out
+
+    def test_fleet_serve_grid_file_help_and_docstring(self):
+        """``fleet serve --grid-file`` exists, its help names the sweep
+        loader it shares, and the module docstring documents it."""
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        fleet_sub = next(
+            a for a in sub.choices["fleet"]._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        serve_help = fleet_sub.choices["serve"].format_help()
+        assert "--grid-file" in serve_help
+        assert "sweep --grid-file" in serve_help
+        assert "fleet serve --root results --grid-file" in repro.cli.__doc__
+        args = parser.parse_args(
+            ["fleet", "serve", "--grid-file", "g.json", "--seed", "7"]
+        )
+        assert args.grid_file == "g.json" and args.seed == 7
+
+    def test_resolve_grid_shared_by_sweep_and_fleet_serve(self, tmp_path):
+        """The one grid-resolution helper handles named grids, grid
+        files (which win), and the neither-given case."""
+        import json
+
+        from repro.cli import _resolve_grid
+
+        grid_file = tmp_path / "grid.json"
+        grid_file.write_text(json.dumps([
+            {"experiment": "e2", "label": "mine", "params": {}},
+        ]))
+        specs = _resolve_grid(None, str(grid_file), seed=3)
+        assert [s.label for s in specs] == ["mine"]
+        assert specs[0].seed == 3
+        smoke = _resolve_grid("smoke", None, seed=0)
+        assert len(smoke) == 4
+        assert _resolve_grid("smoke", str(grid_file), seed=0)[0].label \
+            == "mine"  # grid-file wins
+        assert _resolve_grid(None, None, seed=0) is None
+
     def test_spill_help_documents_repro_kernel(self):
         """--help for the spill subcommand (and the module docstring)
         document the REPRO_KERNEL execution-tier switch."""

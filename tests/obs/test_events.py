@@ -1,0 +1,96 @@
+"""Tests for the bounded event ring and the failure dashboard."""
+
+import pytest
+
+from repro.obs import EventRing, render_failure_table, signal_from_error
+
+
+class TestEventRing:
+    def test_emit_returns_record_with_seq_and_ts(self):
+        ring = EventRing(clock=lambda: 123.0)
+        e = ring.emit("lease.granted", label="c0", worker="w1")
+        assert e["kind"] == "lease.granted"
+        assert e["ts"] == 123.0
+        assert e["seq"] == 1
+        assert e["label"] == "c0" and e["worker"] == "w1"
+
+    def test_seq_is_process_unique_and_increasing(self):
+        ring = EventRing()
+        seqs = [ring.emit("x")["seq"] for _ in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+
+    def test_capacity_drops_oldest_and_counts(self):
+        ring = EventRing(capacity=2)
+        for i in range(5):
+            ring.emit("e", i=i)
+        assert len(ring) == 2
+        assert [e["i"] for e in ring.snapshot()] == [3, 4]
+        assert ring.dropped == 3
+
+    def test_snapshot_filters(self):
+        ring = EventRing()
+        ring.emit("a")
+        mid = ring.emit("b")["seq"]
+        ring.emit("a")
+        ring.emit("b")
+        assert [e["kind"] for e in ring.snapshot(kind="a")] == ["a", "a"]
+        assert [e["seq"] for e in ring.snapshot(since_seq=mid)] == [3, 4]
+        assert [e["seq"] for e in ring.snapshot(limit=2)] == [3, 4]
+        assert ring.last("b")["seq"] == 4
+        assert ring.last("zzz") is None
+
+    def test_rejects_empty_kind_and_bad_capacity(self):
+        with pytest.raises(ValueError):
+            EventRing(capacity=0)
+        with pytest.raises(ValueError):
+            EventRing().emit("")
+
+    def test_snapshot_returns_copies(self):
+        ring = EventRing()
+        ring.emit("a", n=1)
+        ring.snapshot()[0]["n"] = 99
+        assert ring.snapshot()[0]["n"] == 1
+
+
+class TestSignalFromError:
+    def test_extracts_signal_names(self):
+        assert signal_from_error("worker killed by SIGKILL (worker w1)") \
+            == "SIGKILL"
+        assert signal_from_error("died: SIGSEGV at 0x0") == "SIGSEGV"
+
+    def test_empty_when_no_signal(self):
+        assert signal_from_error("worker exited with code 1") == ""
+        assert signal_from_error("") == ""
+        assert signal_from_error(None) == ""
+
+
+class TestRenderFailureTable:
+    ROW = {
+        "label": "cell-b", "state": "failed", "attempts": 4,
+        "max_retries": 3, "worker": "", "backoff_in_s": None,
+        "last_error": "worker killed by SIGKILL (worker w1)",
+        "last_signal": "SIGKILL",
+    }
+
+    def test_empty_is_all_clear(self):
+        assert "no failures" in render_failure_table([])
+
+    def test_columns_and_values(self):
+        out = render_failure_table([self.ROW])
+        header, row = out.splitlines()
+        for col in ("CELL", "STATE", "ATTEMPTS", "SIGNAL", "BACKOFF",
+                    "WORKER", "LAST ERROR"):
+            assert col in header
+        assert "cell-b" in row and "failed" in row
+        assert "4/4" in row  # attempts / (1 + max_retries)
+        assert "SIGKILL" in row
+
+    def test_sorted_by_label_and_backoff_format(self):
+        rows = [
+            dict(self.ROW, label="z", state="delayed", backoff_in_s=2.5,
+                 attempts=1),
+            dict(self.ROW, label="a"),
+        ]
+        lines = render_failure_table(rows).splitlines()
+        assert lines[1].startswith("a") and lines[2].startswith("z")
+        assert "2.50s" in lines[2]

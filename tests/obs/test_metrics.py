@@ -1,0 +1,125 @@
+"""Tests for the metrics registry (counters, gauges, histograms)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_EDGES_S,
+    OBS_SCHEMA,
+    MetricsRegistry,
+    dumps_snapshot,
+    labeled,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("store.hits")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_delta(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc()
+        assert reg.counter("a").value == 2
+
+    def test_thread_safety_no_lost_increments(self):
+        reg = MetricsRegistry()
+        n, per = 8, 2000
+
+        def worker():
+            c = reg.counter("hot")
+            for _ in range(per):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("hot").value == n * per
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        g = MetricsRegistry().gauge("queue.depth")
+        g.set(7)
+        g.dec(3)
+        g.inc()
+        assert g.value == 5
+
+    def test_rejects_non_finite(self):
+        g = MetricsRegistry().gauge("x")
+        with pytest.raises(ValueError):
+            g.set(float("inf"))
+
+
+class TestHistogram:
+    def test_fixed_buckets_with_overflow(self):
+        h = MetricsRegistry().histogram("lat", edges=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        view = h.view()
+        assert view["buckets"] == [1, 2, 1]
+        assert view["count"] == 4
+        assert view["min"] == 0.05 and view["max"] == 5.0
+
+    def test_edges_must_be_strictly_increasing(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly increasing"):
+            reg.histogram("bad", edges=(1.0, 1.0))
+
+    def test_reregistration_with_other_edges_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", edges=(0.1, 1.0))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("lat", edges=(0.5, 1.0))
+
+    def test_default_latency_edges(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.edges == DEFAULT_LATENCY_EDGES_S
+        assert len(h.view()["buckets"]) == len(DEFAULT_LATENCY_EDGES_S) + 1
+
+
+class TestSnapshot:
+    def test_schema_and_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(2)
+        reg.histogram("h", edges=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["schema"] == OBS_SCHEMA
+        assert snap["counters"] == {"c": 1}
+        assert snap["gauges"] == {"g": 2}
+        assert snap["histograms"]["h"]["buckets"] == [1, 0]
+
+    def test_snapshot_json_is_byte_stable(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc(2)
+        reg.histogram("lat", edges=(0.1,)).observe(0.01)
+        assert reg.snapshot_json() == reg.snapshot_json()
+        # sorted keys, compact separators: the canonical form
+        decoded = json.loads(reg.snapshot_json())
+        assert decoded == reg.snapshot()
+        assert reg.snapshot_json() == dumps_snapshot(reg.snapshot())
+
+    def test_dumps_snapshot_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            dumps_snapshot({"bad": float("nan")})
+
+
+def test_labeled_convention():
+    assert labeled("http.requests", "GET /health") == \
+        "http.requests{GET /health}"

@@ -81,6 +81,58 @@ def test_retry_budget_exhausts(monkeypatch):
     assert len(calls) == 4  # initial attempt + 3 retries
 
 
+def test_jitter_uses_private_rng_not_module_global(monkeypatch):
+    """Retry jitter must come from a per-client ``random.Random``, not
+    the module-global generator: a process-wide ``random.seed(...)``
+    (seeded tests, seeded workers) must neither correlate every
+    client's backoff into a retry storm nor have its own stream
+    perturbed by a client's retries."""
+    import random
+
+    def fake_urlopen(req, timeout=None):
+        raise urllib.error.URLError("connection refused")
+
+    sleeps = []
+    monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+    monkeypatch.setattr("repro.service.client.time.sleep", sleeps.append)
+
+    random.seed(1234)
+    expected_stream = [random.random() for _ in range(8)]
+    random.seed(1234)
+    with pytest.raises(urllib.error.URLError):
+        ServiceClient("http://x", retries=3, backoff_s=0.1).get("/health")
+    assert len(sleeps) == 3  # the client did jitter...
+    # ...without consuming from the seeded module-global stream
+    assert [random.random() for _ in range(8)] == expected_stream
+
+
+def test_two_seeded_clients_decorrelate(monkeypatch):
+    """Even under a global seed, two clients draw different jitter
+    (their private RNGs are OS-entropy seeded)."""
+    import random
+
+    def fake_urlopen(req, timeout=None):
+        raise urllib.error.URLError("connection refused")
+
+    monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+    random.seed(0)
+
+    def jitter_of(client):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", sleeps.append
+        )
+        with pytest.raises(urllib.error.URLError):
+            client.get("/health")
+        return sleeps
+
+    a = jitter_of(ServiceClient("http://x", retries=6, backoff_s=0.1))
+    b = jitter_of(ServiceClient("http://x", retries=6, backoff_s=0.1))
+    # 6 draws each from independent OS-entropy-seeded generators:
+    # identical sequences would mean they share (seeded) state
+    assert a != b
+
+
 def test_http_errors_are_never_retried(monkeypatch):
     calls = []
 

@@ -95,3 +95,66 @@ class TestCrossProcessSingleFlight:
             ArtifactStore(tmp_path / "s.db", claim_ttl_s=0.0)
         with pytest.raises(ValueError, match="claim"):
             ArtifactStore(tmp_path / "s.db", claim_poll_s=-1.0)
+
+
+class TestClockSkewTolerance:
+    """Claim timestamps are wall clock (they compare across hosts), so
+    a backwards clock step can leave a claim future-dated.  A claim
+    future-dated beyond the TTL must be treated as abandoned — never as
+    immortal."""
+
+    def _plant_claim(self, store, acquired_s):
+        conn = store._conn()
+        conn.execute(
+            "INSERT INTO claims (key, owner, acquired_s) VALUES (?, ?, ?)",
+            (KEY, "time-traveler", acquired_s),
+        )
+        conn.commit()
+
+    def test_future_dated_claim_is_taken_over_and_counted(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s.db", claim_ttl_s=1.0,
+                              claim_poll_s=0.01)
+        self._plant_claim(store, time.time() + 3600.0)  # far future
+        payload, hit = store.get_or_compute(
+            KEY, lambda: b"recovered", kind="bound"
+        )
+        assert payload == b"recovered" and hit is False
+        assert store.counters["claim_takeovers"] == 1
+        assert store.counters["claim_skew_takeovers"] == 1
+        store.close()
+
+    def test_slightly_future_claim_within_ttl_still_blocks(self, tmp_path):
+        """Skew tolerance is the TTL itself: a claim a fraction of the
+        TTL in the future (small skew between healthy hosts) is live,
+        not a takeover target."""
+        store = ArtifactStore(tmp_path / "s.db", claim_ttl_s=10.0)
+        self._plant_claim(store, time.time() + 2.0)
+        assert store._claim_blocks(KEY)
+        assert not store._try_claim(KEY)
+        assert store.counters["claim_skew_takeovers"] == 0
+        store.close()
+
+    def test_claim_state_classification(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s.db", claim_ttl_s=10.0)
+        now = 1000.0
+        assert store._claim_state(now, now) == "live"
+        assert store._claim_state(now - 5.0, now) == "live"
+        assert store._claim_state(now - 10.0, now) == "stale"
+        assert store._claim_state(now + 5.0, now) == "live"  # small skew
+        assert store._claim_state(now + 10.1, now) == "skewed"
+        store.close()
+
+    def test_takeover_emits_event_with_state(self, tmp_path):
+        from repro.obs import EventRing, MetricsRegistry
+
+        store = ArtifactStore(tmp_path / "s.db", claim_ttl_s=1.0,
+                              claim_poll_s=0.01)
+        store.bind_obs(MetricsRegistry(), EventRing())
+        self._plant_claim(store, time.time() + 3600.0)
+        store.get_or_compute(KEY, lambda: b"x", kind="bound")
+        event = store.events.last("store.claim_takeover")
+        assert event["state"] == "skewed"
+        assert event["previous_owner"] == "time-traveler"
+        snap = store.metrics.snapshot()["counters"]
+        assert snap["store.claim_skew_takeovers"] == 1
+        store.close()

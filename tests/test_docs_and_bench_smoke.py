@@ -23,6 +23,9 @@ import numpy as np
 import pytest
 
 import repro.core.ordering
+import repro.obs.dashboard
+import repro.obs.events
+import repro.obs.metrics
 import repro.pebbling.parallel
 import repro.pebbling.state
 import repro.service.server
@@ -40,6 +43,9 @@ DOCTEST_MODULES = [
     repro.store.db,
     repro.store.analysis,
     repro.service.server,
+    repro.obs.metrics,
+    repro.obs.events,
+    repro.obs.dashboard,
 ]
 
 SMOKE_MOVES = 1_000_000
